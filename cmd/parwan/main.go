@@ -1,0 +1,114 @@
+// Command parwan is the standalone toolchain for the embedded processor
+// model: assembler, disassembler, and instruction-level runner.
+//
+// Usage:
+//
+//	parwan asm  file.s            assemble, print a listing
+//	parwan dis  file.s            assemble then disassemble (round trip)
+//	parwan run  file.s [-steps N] [-trace] [-entry addr]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/parwan"
+	"repro/internal/soc"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "asm":
+		err = cmdAsm(os.Args[2:])
+	case "dis":
+		err = cmdAsm(os.Args[2:]) // listing is the disassembly
+	case "run":
+		err = cmdRun(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "parwan: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "parwan:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: parwan <asm|dis|run> file.s [flags]`)
+}
+
+func assembleFile(path string) (*parwan.Image, map[string]uint16, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return parwan.Assemble(f)
+}
+
+func cmdAsm(args []string) error {
+	fs := flag.NewFlagSet("asm", flag.ExitOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need exactly one source file")
+	}
+	im, labels, err := assembleFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	fmt.Print(parwan.Listing(im))
+	if len(labels) > 0 {
+		fmt.Println("\nlabels:")
+		for name, addr := range labels {
+			fmt.Printf("  %-16s %03x\n", name, addr)
+		}
+	}
+	return nil
+}
+
+func cmdRun(args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	steps := fs.Int("steps", 100000, "instruction limit")
+	trace := fs.Bool("trace", false, "print every bus transaction")
+	entry := fs.Uint("entry", 0, "entry point")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("need exactly one source file")
+	}
+	im, _, err := assembleFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	sys, err := soc.New(soc.Config{Trace: *trace})
+	if err != nil {
+		return err
+	}
+	sys.LoadImage(im)
+	sys.CPU.PC = uint16(*entry) & 0xFFF
+	n, err := sys.Run(*steps)
+	if err != nil {
+		return err
+	}
+	if *trace {
+		for _, tr := range sys.Trace() {
+			fmt.Println(tr)
+		}
+	}
+	fmt.Printf("executed %d instructions, %d cycles, halted=%v\n", n, sys.CPU.Cycles, sys.CPU.Halted())
+	fmt.Printf("AC=%02x PC=%03x %v\n", sys.CPU.AC, sys.CPU.PC, sys.CPU.Flags)
+	return nil
+}

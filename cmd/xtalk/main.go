@@ -1,0 +1,396 @@
+// Command xtalk runs the reproduction's experiments at full scale: test
+// program generation, defect-library generation, defect-simulation
+// campaigns, the Fig. 11 chart, and the baseline comparison.
+//
+// Usage:
+//
+//	xtalk gen     [-compaction] [-sessions N] [-listing]
+//	xtalk params  [-width N] [-cth F] [-o file]
+//	xtalk defects [-bus addr|data] [-size N] [-sigma S] [-seed N]
+//	xtalk sim     [-bus addr|data] [-size N] [-seed N] [-compaction]
+//	xtalk fig11   [-size N] [-seed N] [-csv]
+//	xtalk compare [-size N] [-seed N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bist"
+	"repro/internal/core"
+	"repro/internal/crosstalk"
+	"repro/internal/defects"
+	"repro/internal/parwan"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/tester"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "params":
+		err = cmdParams(os.Args[2:])
+	case "defects":
+		err = cmdDefects(os.Args[2:])
+	case "sim":
+		err = cmdSim(os.Args[2:])
+	case "fig11":
+		err = cmdFig11(os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "margins":
+		err = cmdMargins(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "xtalk: unknown command %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xtalk:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: xtalk <command> [flags]
+
+commands:
+  gen      generate the self-test plan and report applicability
+  params   emit a nominal bus parameter file
+  defects  generate a defect library and report its composition
+  sim      run a full defect-simulation campaign (E5)
+  fig11    regenerate the paper's Fig. 11 coverage chart (E4)
+  compare  compare SBST against hardware BIST and external test (E6)
+  margins  per-wire worst-case crosstalk margins of a bus description`)
+}
+
+func setups() (sim.BusSetup, sim.BusSetup, error) {
+	return sim.DefaultSetups()
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	compaction := fs.Bool("compaction", false, "compact responses in the accumulator (§4.3)")
+	sessions := fs.Int("sessions", 0, "maximum follow-up sessions (default 4)")
+	listing := fs.Bool("listing", false, "print a disassembly listing of each session program")
+	out := fs.String("o", "", "save the plan (programs + metadata) as JSON")
+	verify := fs.Bool("verify", false, "verify every applied test drives its vector pair")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	plan, err := core.Generate(core.GenConfig{Compaction: *compaction, MaxSessions: *sessions})
+	if err != nil {
+		return err
+	}
+	if *verify {
+		violations, err := sim.VerifyPlan(plan)
+		if err != nil {
+			return err
+		}
+		if len(violations) == 0 {
+			fmt.Println("verify: every applied test drives its MA vector pair")
+		}
+		for _, v := range violations {
+			fmt.Println("verify FAILED:", v)
+		}
+	}
+	if *out != "" {
+		if err := core.SavePlan(*out, plan); err != nil {
+			return err
+		}
+		fmt.Printf("plan saved to %s\n", *out)
+	}
+	dTotal, dFirst := plan.AppliedOn(core.DataBus)
+	aTotal, aFirst := plan.AppliedOn(core.AddrBus)
+	tbl := report.NewTable("Self-test plan", "bus", "MAFs", "first session", "all sessions")
+	tbl.AddRow("data", 64, dFirst, dTotal)
+	tbl.AddRow("addr", 48, aFirst, aTotal)
+	if err := tbl.Write(os.Stdout); err != nil {
+		return err
+	}
+	fmt.Println()
+	prog := report.NewTable("Session programs", "session", "tests", "bytes", "response cells")
+	for _, p := range plan.Programs {
+		prog.AddRow(p.Session, len(p.Applied), p.Image.UsedCount(), len(p.ResponseCells))
+	}
+	if err := prog.Write(os.Stdout); err != nil {
+		return err
+	}
+	if len(plan.Inapplicable) > 0 {
+		fmt.Printf("\ninapplicable (%d):\n", len(plan.Inapplicable))
+		for _, r := range plan.Inapplicable {
+			fmt.Printf("  %v: %s\n", r.MA.Fault, r.Reason)
+		}
+	}
+	if *listing {
+		for _, p := range plan.Programs {
+			fmt.Printf("\n--- session %d (entry %03x) ---\n%s", p.Session, p.Entry, parwan.Listing(p.Image))
+		}
+	}
+	return nil
+}
+
+func cmdParams(args []string) error {
+	fs := flag.NewFlagSet("params", flag.ExitOnError)
+	width := fs.Int("width", parwan.AddrBits, "bus width in wires")
+	cth := fs.Float64("cth", 0, "Cth factor (default 1.55)")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nom := crosstalk.Nominal(*width)
+	th, err := crosstalk.DeriveThresholds(nom, *cth)
+	if err != nil {
+		return err
+	}
+	if *out == "" {
+		return crosstalk.Write(os.Stdout, nom, th)
+	}
+	return crosstalk.WriteFile(*out, nom, th)
+}
+
+func busSetup(bus string) (sim.BusSetup, bool, error) {
+	addr, data, err := setups()
+	if err != nil {
+		return sim.BusSetup{}, false, err
+	}
+	switch bus {
+	case "addr":
+		return addr, false, nil
+	case "data":
+		return data, true, nil
+	default:
+		return sim.BusSetup{}, false, fmt.Errorf("unknown bus %q (want addr or data)", bus)
+	}
+}
+
+func cmdDefects(args []string) error {
+	fs := flag.NewFlagSet("defects", flag.ExitOnError)
+	bus := fs.String("bus", "addr", "bus to perturb: addr or data")
+	size := fs.Int("size", defects.DefaultLibrarySize, "number of defects")
+	sigma := fs.Float64("sigma", defects.DefaultSigma, "capacitance variation sigma")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	setup, _, err := busSetup(*bus)
+	if err != nil {
+		return err
+	}
+	lib, err := defects.Generate(setup.Nominal, setup.Thresholds,
+		defects.Config{Size: *size, Sigma: *sigma, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%d defects on the %s bus (sigma=%.2f, acceptance %.3g)\n",
+		len(lib.Defects), *bus, lib.Sigma, lib.AcceptanceRate())
+	tbl := report.NewTable("Over-threshold victims per wire", "wire", "defects")
+	for w, n := range lib.VictimHistogram() {
+		tbl.AddRow(w+1, n)
+	}
+	return tbl.Write(os.Stdout)
+}
+
+func cmdSim(args []string) error {
+	fs := flag.NewFlagSet("sim", flag.ExitOnError)
+	bus := fs.String("bus", "addr", "bus to test: addr or data")
+	size := fs.Int("size", defects.DefaultLibrarySize, "defect library size")
+	seed := fs.Int64("seed", 1, "random seed")
+	compaction := fs.Bool("compaction", false, "compact responses")
+	planFile := fs.String("plan", "", "load a previously saved plan instead of generating")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	setup, isData, err := busSetup(*bus)
+	if err != nil {
+		return err
+	}
+	busID := core.AddrBus
+	if isData {
+		busID = core.DataBus
+	}
+	var plan *core.Plan
+	if *planFile != "" {
+		plan, err = core.LoadPlan(*planFile)
+	} else {
+		plan, err = core.Generate(core.GenConfig{Compaction: *compaction})
+	}
+	if err != nil {
+		return err
+	}
+	addr, data, err := setups()
+	if err != nil {
+		return err
+	}
+	r, err := sim.NewRunner(plan, addr, data)
+	if err != nil {
+		return err
+	}
+	lib, err := defects.Generate(setup.Nominal, setup.Thresholds, defects.Config{Size: *size, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	res, err := r.Campaign(busID, lib)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("campaign: %s bus, %d defects\n", *bus, res.Total)
+	fmt.Printf("coverage: %d/%d = %.2f%% (paper: 100%%)\n", res.Detected, res.Total, res.Coverage()*100)
+	fmt.Printf("crashed/hung runs counted as detections: %d\n", res.Crashed)
+	fmt.Printf("golden execution time: %d CPU cycles across %d sessions (paper: 1720)\n",
+		r.GoldenCycles(), len(plan.Programs))
+	return nil
+}
+
+func cmdFig11(args []string) error {
+	fs := flag.NewFlagSet("fig11", flag.ExitOnError)
+	bus := fs.String("bus", "addr", "bus to chart: addr (the paper's Fig. 11) or data")
+	size := fs.Int("size", defects.DefaultLibrarySize, "defect library size")
+	seed := fs.Int64("seed", 1, "random seed")
+	csv := fs.Bool("csv", false, "emit CSV instead of a chart")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addr, data, err := setups()
+	if err != nil {
+		return err
+	}
+	setup, isData, err := busSetup(*bus)
+	if err != nil {
+		return err
+	}
+	busID := core.AddrBus
+	if isData {
+		busID = core.DataBus
+	}
+	lib, err := defects.Generate(setup.Nominal, setup.Thresholds, defects.Config{Size: *size, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	pts, err := sim.Fig11Campaign(addr, data, busID, lib, false)
+	if err != nil {
+		return err
+	}
+	if *csv {
+		tbl := report.NewTable("", "line", "individual", "cumulative")
+		for _, p := range pts {
+			tbl.AddRow(p.Wire+1, p.Individual, p.Cumulative)
+		}
+		return tbl.WriteCSV(os.Stdout)
+	}
+	chart := report.NewBarChart(fmt.Sprintf(
+		"Fig 11: crosstalk defect coverage of %s-bus MA tests (%d defects)", *bus, len(lib.Defects)))
+	for _, p := range pts {
+		chart.Add(fmt.Sprintf("line %2d", p.Wire+1), p.Individual, p.Cumulative)
+	}
+	return chart.Write(os.Stdout)
+}
+
+func cmdMargins(args []string) error {
+	fs := flag.NewFlagSet("margins", flag.ExitOnError)
+	width := fs.Int("width", parwan.AddrBits, "bus width for a nominal description")
+	file := fs.String("file", "", "parameter file to analyse instead of the nominal geometry")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var p *crosstalk.Params
+	var th crosstalk.Thresholds
+	var err error
+	if *file != "" {
+		p, th, err = crosstalk.ReadFile(*file)
+	} else {
+		p = crosstalk.Nominal(*width)
+		th, err = crosstalk.DeriveThresholds(p, 0)
+	}
+	if err != nil {
+		return err
+	}
+	ch, err := crosstalk.NewChannel(p, th)
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable(
+		fmt.Sprintf("Worst-case MA-pattern margins (Cth = %.0f fF, glitch threshold %.3f Vdd)",
+			th.Cth*1e15, th.GlitchFrac),
+		"wire", "net coupling (fF)", "C/Cth", "glitch (Vdd)", "delay fwd (ps)", "delay rev (ps)", "errs")
+	for _, m := range crosstalk.Margins(ch) {
+		tbl.AddRow(m.Wire+1, m.NetCoupling*1e15, m.CthRatio, m.GlitchFrac,
+			m.Delay[0]*1e12, m.Delay[1]*1e12, m.Exceeds(th))
+	}
+	return tbl.Write(os.Stdout)
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	size := fs.Int("size", defects.DefaultLibrarySize, "defect library size")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	addr, data, err := setups()
+	if err != nil {
+		return err
+	}
+	lib, err := defects.Generate(addr.Nominal, addr.Thresholds, defects.Config{Size: *size, Seed: *seed})
+	if err != nil {
+		return err
+	}
+	plan, err := core.Generate(core.GenConfig{})
+	if err != nil {
+		return err
+	}
+	r, err := sim.NewRunner(plan, addr, data)
+	if err != nil {
+		return err
+	}
+	sbst, err := r.Campaign(core.AddrBus, lib)
+	if err != nil {
+		return err
+	}
+	profile := bist.FunctionalProfile{ConstantWires: map[int]uint{11: 0, 10: 0}}
+	eng, err := bist.New(addr.Thresholds, parwan.AddrBits, false)
+	if err != nil {
+		return err
+	}
+	hw, err := eng.Campaign(lib, profile)
+	if err != nil {
+		return err
+	}
+	tbl := report.NewTable("Method comparison (address bus)",
+		"method", "coverage %", "area (gates)", "over-tested", "escapes")
+	tbl.AddRow("SBST (this paper)", sbst.Coverage()*100, 0, 0, 0)
+	tbl.AddRow("hardware BIST [2]", hw.Coverage()*100, bist.AreaOverhead(parwan.AddrBits), hw.OverTested, 0)
+	for _, ratio := range []float64{1.0, 0.5, 0.25, 0.1} {
+		x, err := tester.New(addr.Thresholds, parwan.AddrBits, false, ratio)
+		if err != nil {
+			return err
+		}
+		a, err := x.Campaign(lib)
+		if err != nil {
+			return err
+		}
+		tbl.AddRow(fmt.Sprintf("external @ %.0f%% speed", ratio*100),
+			a.Coverage()*100, 0, 0, a.Escapes)
+	}
+	if err := tbl.Write(os.Stdout); err != nil {
+		return err
+	}
+	m := tester.DefaultCostModel()
+	fmt.Printf("\nATE cost model: 100MHz=%.1f, 500MHz=%.1f, 1GHz=%.1f, 2GHz=%.1f (relative units)\n",
+		m.Cost(100e6), m.Cost(500e6), m.Cost(1e9), m.Cost(2e9))
+	fmt.Printf("BIST relative area: %.1f%% of a 5k-gate SoC, %.2f%% of a 500k-gate SoC\n",
+		bist.RelativeOverhead(parwan.AddrBits, 5000)*100,
+		bist.RelativeOverhead(parwan.AddrBits, 500000)*100)
+	_ = data
+	return nil
+}

@@ -1,0 +1,11 @@
+// Package repro is a reproduction of "Testing for Interconnect Crosstalk
+// Defects Using On-Chip Embedded Processor Cores" (Chen, Bai, Dey; DAC 2001
+// / JETTA 2002): software-based self-test programs that apply maximum-
+// aggressor crosstalk tests to the address and data busses of a CPU-memory
+// system in its normal functional mode.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// paper-versus-measured record. The benchmark harness in bench_test.go
+// regenerates every table and figure of the paper's evaluation; the cmd/
+// tools run the same experiments at full scale.
+package repro

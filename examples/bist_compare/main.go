@@ -1,0 +1,96 @@
+// Baseline comparison: software-based self-test (this paper) against the
+// hardware BIST of DAC 2000 [2] and an external tester, on one defect
+// library — regenerating the paper's §1 comparison claims:
+//
+//   - SBST needs no extra hardware and applies only functional-mode
+//     patterns, so it cannot over-test;
+//   - hardware BIST pays an area overhead that is unacceptable for small
+//     systems, and its test-mode patterns over-test defects that can never
+//     corrupt functional traffic (yield loss);
+//   - an external tester below system speed misses marginal delay defects,
+//     and an at-speed external tester is prohibitively expensive.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/bist"
+	"repro/internal/core"
+	"repro/internal/defects"
+	"repro/internal/parwan"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/tester"
+)
+
+func main() {
+	size := flag.Int("size", 250, "defect library size")
+	flag.Parse()
+
+	addr, data, err := sim.DefaultSetups()
+	if err != nil {
+		log.Fatal(err)
+	}
+	lib, err := defects.Generate(addr.Nominal, addr.Thresholds, defects.Config{Size: *size, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// SBST: the generated self-test plan in functional mode.
+	plan, err := core.Generate(core.GenConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	runner, err := sim.NewRunner(plan, addr, data)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sbst, err := runner.Campaign(core.AddrBus, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Hardware BIST: every MA pattern in test mode; the functional profile
+	// freezes the top two address wires (a system populating a quarter of
+	// its address space), so some detections are over-testing.
+	profile := bist.FunctionalProfile{ConstantWires: map[int]uint{11: 0, 10: 0}}
+	engine, err := bist.New(addr.Thresholds, parwan.AddrBits, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hw, err := engine.Campaign(lib, profile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	tbl := report.NewTable("Crosstalk test methods on one defect library (address bus)",
+		"method", "coverage %", "extra gates", "over-tested", "at-speed escapes")
+	tbl.AddRow("SBST (this paper)", sbst.Coverage()*100, 0, 0, 0)
+	tbl.AddRow("hardware BIST [2]", hw.Coverage()*100, bist.AreaOverhead(parwan.AddrBits), hw.OverTested, 0)
+	for _, ratio := range []float64{0.5, 0.25} {
+		x, err := tester.New(addr.Thresholds, parwan.AddrBits, false, ratio)
+		if err != nil {
+			log.Fatal(err)
+		}
+		a, err := x.Campaign(lib)
+		if err != nil {
+			log.Fatal(err)
+		}
+		tbl.AddRow(fmt.Sprintf("external tester @ %.0f%%", ratio*100),
+			a.Coverage()*100, 0, 0, a.Escapes)
+	}
+	fmt.Print(tbl.String())
+
+	fmt.Printf("\nBIST over-test rate: %.1f%% of its detections are functionally irrelevant (yield loss)\n",
+		hw.OverTestRate()*100)
+	fmt.Printf("BIST area: %.1f%% of a 5k-gate SoC vs %.2f%% of a 500k-gate SoC\n",
+		bist.RelativeOverhead(parwan.AddrBits, 5000)*100,
+		bist.RelativeOverhead(parwan.AddrBits, 500000)*100)
+	m := tester.DefaultCostModel()
+	fmt.Printf("ATE cost to test at speed: %.1fx a low-speed tester at 1 GHz, %.1fx at 2 GHz\n",
+		m.Cost(1e9), m.Cost(2e9))
+	fmt.Printf("SBST golden execution: %d CPU cycles, loaded/unloaded by a low-speed tester\n",
+		runner.GoldenCycles())
+}

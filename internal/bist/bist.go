@@ -1,0 +1,200 @@
+// Package bist models the hardware built-in self-test baseline the paper
+// compares against (Bai, Dey, Rajski, DAC 2000 [2]): dedicated on-chip test
+// pattern generators drive the maximum-aggressor vector pairs directly onto
+// each bus in a special test mode, and on-chip error detectors at the
+// receiving end latch any corrupted vector.
+//
+// The model reproduces the two costs the paper attributes to this approach:
+//
+//   - Area overhead: the generator and detector are extra hardware per bus.
+//     The gate-count model is a linear estimate per wire, and the relative
+//     overhead is reported against a configurable system size, showing the
+//     paper's point that small systems pay an unacceptable relative price.
+//   - Over-testing: the test mode applies every MA pattern, including
+//     patterns that can never occur in the normal operational mode of the
+//     system. A defect whose errors are excitable only by such patterns
+//     does not affect the functioning system, so rejecting the chip for it
+//     is yield loss.
+package bist
+
+import (
+	"fmt"
+
+	"repro/internal/crosstalk"
+	"repro/internal/defects"
+	"repro/internal/logic"
+	"repro/internal/maf"
+)
+
+// Gate-count model for the self-test hardware, in two-input-NAND
+// equivalents. The constants are rough synthesis estimates for a
+// counter-based MA pattern generator and a comparator-based detector; only
+// their order of magnitude matters for the paper's relative-overhead
+// argument.
+const (
+	GeneratorGatesPerWire = 28  // pattern sequencing and drive mux per wire
+	GeneratorGatesFixed   = 120 // control FSM
+	DetectorGatesPerWire  = 14  // capture latch and comparator per wire
+	DetectorGatesFixed    = 60  // response accumulation
+)
+
+// AreaOverhead estimates the BIST hardware in gate equivalents for one bus.
+func AreaOverhead(width int) int {
+	return GeneratorGatesPerWire*width + GeneratorGatesFixed +
+		DetectorGatesPerWire*width + DetectorGatesFixed
+}
+
+// RelativeOverhead returns the BIST area as a fraction of the host system's
+// gate count.
+func RelativeOverhead(width, systemGates int) float64 {
+	if systemGates <= 0 {
+		return 0
+	}
+	return float64(AreaOverhead(width)) / float64(systemGates)
+}
+
+// Engine is the BIST controller for one bus: it applies all MA tests
+// directly, with no instruction-set constraints, in both directions when
+// the bus is bidirectional.
+type Engine struct {
+	thresholds    crosstalk.Thresholds
+	width         int
+	bidirectional bool
+}
+
+// New builds a BIST engine for a bus with the given nominal thresholds.
+func New(th crosstalk.Thresholds, width int, bidirectional bool) (*Engine, error) {
+	if err := th.Validate(); err != nil {
+		return nil, err
+	}
+	if width < 2 {
+		return nil, fmt.Errorf("bist: width %d", width)
+	}
+	return &Engine{thresholds: th, width: width, bidirectional: bidirectional}, nil
+}
+
+// PatternCount returns the number of MA vector pairs the engine applies.
+func (e *Engine) PatternCount() int {
+	n := 4 * e.width
+	if e.bidirectional {
+		n *= 2
+	}
+	return n
+}
+
+// TestCycles returns the test-mode cycle count: two vectors per pattern.
+func (e *Engine) TestCycles() int { return 2 * e.PatternCount() }
+
+// Detects reports whether the engine catches the defect: some MA pattern,
+// driven directly on the defective bus, arrives corrupted at the detector.
+func (e *Engine) Detects(defective *crosstalk.Params) (bool, []maf.Fault, error) {
+	ch, err := crosstalk.NewChannel(defective, e.thresholds)
+	if err != nil {
+		return false, nil, err
+	}
+	var by []maf.Fault
+	for _, mt := range maf.Tests(e.width, e.bidirectional) {
+		if !ch.Clean(mt.V1, mt.V2, mt.Fault.Dir) {
+			by = append(by, mt.Fault)
+		}
+	}
+	return len(by) > 0, by, nil
+}
+
+// FunctionalProfile describes which bus activity the normal operational
+// mode of the system can produce. Wires listed in ConstantWires never
+// toggle functionally (e.g. the top address bits of a system that populates
+// only part of its address space), so patterns toggling them exist only in
+// the BIST test mode.
+type FunctionalProfile struct {
+	ConstantWires map[int]uint // wire -> fixed level
+}
+
+// Reachable reports whether the vector pair can occur in functional mode.
+func (p FunctionalProfile) Reachable(v1, v2 logic.Word) bool {
+	for w, lvl := range p.ConstantWires {
+		if v1.Bit(w) != lvl || v2.Bit(w) != lvl {
+			return false
+		}
+	}
+	return true
+}
+
+// constrain forces the profile's constant wires onto a vector.
+func (p FunctionalProfile) constrain(v logic.Word) logic.Word {
+	for w, lvl := range p.ConstantWires {
+		v = v.WithBit(w, lvl)
+	}
+	return v
+}
+
+// FunctionallyRelevant reports whether the defect can produce an error
+// under any functionally reachable worst-case pattern: the MA patterns
+// projected onto the profile (constant wires frozen). A defect that errs
+// only under unreachable patterns cannot affect the operating system.
+func (e *Engine) FunctionallyRelevant(defective *crosstalk.Params, profile FunctionalProfile) (bool, error) {
+	ch, err := crosstalk.NewChannel(defective, e.thresholds)
+	if err != nil {
+		return false, err
+	}
+	for _, mt := range maf.Tests(e.width, e.bidirectional) {
+		if _, constant := profile.ConstantWires[mt.Fault.Victim]; constant {
+			continue // errors on a frozen wire cannot appear functionally
+		}
+		v1 := profile.constrain(mt.V1)
+		v2 := profile.constrain(mt.V2)
+		if !ch.Clean(v1, v2, mt.Fault.Dir) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Analysis is the outcome of a BIST campaign over a defect library.
+type Analysis struct {
+	Total    int
+	Detected int
+	// OverTested counts defects the BIST rejects although no functionally
+	// reachable pattern can excite them — the paper's yield-loss argument.
+	OverTested int
+}
+
+// Coverage returns the fraction of defects detected.
+func (a Analysis) Coverage() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Detected) / float64(a.Total)
+}
+
+// OverTestRate returns the fraction of detections that are functionally
+// irrelevant.
+func (a Analysis) OverTestRate() float64 {
+	if a.Detected == 0 {
+		return 0
+	}
+	return float64(a.OverTested) / float64(a.Detected)
+}
+
+// Campaign runs the BIST over a defect library under a functional profile.
+func (e *Engine) Campaign(lib *defects.Library, profile FunctionalProfile) (Analysis, error) {
+	a := Analysis{Total: len(lib.Defects)}
+	for _, d := range lib.Defects {
+		det, _, err := e.Detects(d.Params)
+		if err != nil {
+			return Analysis{}, err
+		}
+		if !det {
+			continue
+		}
+		a.Detected++
+		relevant, err := e.FunctionallyRelevant(d.Params, profile)
+		if err != nil {
+			return Analysis{}, err
+		}
+		if !relevant {
+			a.OverTested++
+		}
+	}
+	return a, nil
+}

@@ -1,0 +1,275 @@
+package bist
+
+import (
+	"testing"
+
+	"repro/internal/crosstalk"
+	"repro/internal/defects"
+	"repro/internal/logic"
+	"repro/internal/parwan"
+)
+
+func setup(t *testing.T, width int) (*crosstalk.Params, crosstalk.Thresholds) {
+	t.Helper()
+	nom := crosstalk.Nominal(width)
+	th, err := crosstalk.DeriveThresholds(nom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nom, th
+}
+
+func defective(t *testing.T, nom *crosstalk.Params, th crosstalk.Thresholds, victim int, factor float64) *crosstalk.Params {
+	t.Helper()
+	p := nom.Clone()
+	scale := factor * th.Cth / p.NetCoupling(victim)
+	for j := 0; j < p.Width; j++ {
+		if j != victim {
+			p.Cc[victim][j] *= scale
+			p.Cc[j][victim] *= scale
+		}
+	}
+	return p
+}
+
+func TestAreaOverhead(t *testing.T) {
+	a8 := AreaOverhead(8)
+	a12 := AreaOverhead(12)
+	if a12 <= a8 {
+		t.Error("area not monotone in width")
+	}
+	want := (GeneratorGatesPerWire+DetectorGatesPerWire)*8 + GeneratorGatesFixed + DetectorGatesFixed
+	if a8 != want {
+		t.Errorf("AreaOverhead(8) = %d, want %d", a8, want)
+	}
+}
+
+// TestRelativeOverheadShape: the paper's argument — relative overhead is
+// amortised for large systems but unacceptable for small ones.
+func TestRelativeOverheadShape(t *testing.T) {
+	small := RelativeOverhead(12, 5000)   // small SoC
+	large := RelativeOverhead(12, 500000) // large SoC
+	if small <= large {
+		t.Error("relative overhead should shrink with system size")
+	}
+	if small < 0.1 {
+		t.Errorf("small-system overhead = %.3f, expected significant (>10%%)", small)
+	}
+	if large > 0.01 {
+		t.Errorf("large-system overhead = %.4f, expected amortised (<1%%)", large)
+	}
+	if RelativeOverhead(12, 0) != 0 {
+		t.Error("zero system size should yield zero")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	_, th := setup(t, 8)
+	if _, err := New(crosstalk.Thresholds{}, 8, false); err == nil {
+		t.Error("invalid thresholds accepted")
+	}
+	if _, err := New(th, 1, false); err == nil {
+		t.Error("width 1 accepted")
+	}
+}
+
+func TestPatternAndCycleCounts(t *testing.T) {
+	_, th := setup(t, 12)
+	e, err := New(th, 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.PatternCount() != 48 || e.TestCycles() != 96 {
+		t.Errorf("addr bus: %d patterns, %d cycles", e.PatternCount(), e.TestCycles())
+	}
+	_, th8 := setup(t, 8)
+	e8, err := New(th8, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e8.PatternCount() != 64 {
+		t.Errorf("data bus: %d patterns, want 64", e8.PatternCount())
+	}
+}
+
+func TestDetects(t *testing.T) {
+	nom, th := setup(t, 12)
+	e, err := New(th, 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det, _, err := e.Detects(nom); err != nil || det {
+		t.Errorf("nominal detected: %v %v", det, err)
+	}
+	d := defective(t, nom, th, 6, 1.2)
+	det, by, err := e.Detects(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det || len(by) == 0 {
+		t.Error("defect missed")
+	}
+	for _, f := range by {
+		if f.Victim != 6 {
+			t.Errorf("detection attributed to wire %d, want 6", f.Victim)
+		}
+	}
+}
+
+// TestBISTDetectsEverythingSBSTCan: BIST applies every MA pattern directly,
+// so any defect over Cth on any wire is caught — including on wires whose
+// software tests were inapplicable. That completeness is exactly what makes
+// it over-test.
+func TestBISTDetectsAllOverThreshold(t *testing.T) {
+	nom, th := setup(t, 12)
+	e, err := New(th, 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < 12; w++ {
+		det, _, err := e.Detects(defective(t, nom, th, w, 1.1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !det {
+			t.Errorf("wire %d defect missed", w)
+		}
+	}
+}
+
+func TestFunctionalProfileReachable(t *testing.T) {
+	p := FunctionalProfile{ConstantWires: map[int]uint{11: 0}}
+	ok := p.Reachable(logic.NewWord(0x000, 12), logic.NewWord(0x7FF, 12))
+	if !ok {
+		t.Error("pattern within constraint rejected")
+	}
+	bad := p.Reachable(logic.NewWord(0x000, 12), logic.NewWord(0xFFF, 12))
+	if bad {
+		t.Error("pattern toggling frozen wire accepted")
+	}
+}
+
+// TestOverTesting: freeze the top two address wires (quarter-populated
+// memory). A gross coupling defect between the two frozen wires is detected
+// by the BIST's test-mode patterns but can never corrupt functional traffic.
+func TestOverTesting(t *testing.T) {
+	nom, th := setup(t, 12)
+	e, err := New(th, 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := FunctionalProfile{ConstantWires: map[int]uint{11: 0, 10: 0}}
+
+	// Raise only the coupling between the two frozen wires: victims 10 and
+	// 11 exceed Cth, every other wire is untouched.
+	d := nom.Clone()
+	extra := 2 * th.Cth
+	d.Cc[10][11] += extra
+	d.Cc[11][10] += extra
+	det, by, err := e.Detects(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det {
+		t.Fatal("BIST missed the frozen-pair defect")
+	}
+	for _, f := range by {
+		if f.Victim != 10 && f.Victim != 11 {
+			t.Errorf("detection on unexpected wire %d", f.Victim)
+		}
+	}
+	rel, err := e.FunctionallyRelevant(d, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel {
+		t.Error("frozen-pair defect reported functionally relevant")
+	}
+
+	// A centre-wire defect is relevant regardless.
+	d5 := defective(t, nom, th, 5, 1.3)
+	rel, err = e.FunctionallyRelevant(d5, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rel {
+		t.Error("centre-wire defect reported irrelevant")
+	}
+}
+
+// TestMarginalDefectOverTesting: a defect just over threshold needs the full
+// maximum-aggressor pattern; freezing two aggressors weakens the worst
+// functional pattern below threshold, so the BIST over-tests it.
+func TestMarginalDefectOverTesting(t *testing.T) {
+	nom, th := setup(t, 12)
+	e, err := New(th, 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := FunctionalProfile{ConstantWires: map[int]uint{11: 0, 10: 0}}
+	// Victim 5 with coupling barely over Cth: removing two aggressors'
+	// transitions drops the worst functional excitation below threshold.
+	d := defective(t, nom, th, 5, 1.005)
+	det, _, err := e.Detects(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !det {
+		t.Fatal("BIST missed marginal defect")
+	}
+	rel, err := e.FunctionallyRelevant(d, profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel {
+		t.Error("marginal defect relevant despite weakened functional worst case")
+	}
+}
+
+func TestCampaign(t *testing.T) {
+	nom, th := setup(t, 12)
+	e, err := New(th, 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := defects.Generate(nom, th, defects.Config{Size: 80, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Full functional freedom: nothing is over-tested.
+	free, err := e.Campaign(lib, FunctionalProfile{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if free.Coverage() != 1.0 {
+		t.Errorf("BIST coverage = %.3f, want 1.0 (every library defect exceeds Cth)", free.Coverage())
+	}
+	if free.OverTested != 0 {
+		t.Errorf("unconstrained profile over-tested %d", free.OverTested)
+	}
+	// Constrained profile: some detections become yield loss.
+	constrained, err := e.Campaign(lib, FunctionalProfile{ConstantWires: map[int]uint{11: 0, 10: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained.OverTested == 0 {
+		t.Error("constrained profile produced no over-testing; expected some marginal defects")
+	}
+	if constrained.OverTestRate() <= 0 || constrained.OverTestRate() > 1 {
+		t.Errorf("over-test rate = %.3f", constrained.OverTestRate())
+	}
+	if (Analysis{}).Coverage() != 0 || (Analysis{}).OverTestRate() != 0 {
+		t.Error("empty analysis rates nonzero")
+	}
+}
+
+func TestEngineWidthMatchesBusses(t *testing.T) {
+	_, thA := setup(t, parwan.AddrBits)
+	if _, err := New(thA, parwan.AddrBits, false); err != nil {
+		t.Fatal(err)
+	}
+	_, thD := setup(t, parwan.DataBits)
+	if _, err := New(thD, parwan.DataBits, true); err != nil {
+		t.Fatal(err)
+	}
+}

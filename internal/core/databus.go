@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/maf"
+	"repro/internal/parwan"
+)
+
+// defaultDataPages is the page preference order for seeded data cells and
+// store targets: high pages first, keeping clear of the low pages where the
+// mainline code grows.
+var defaultDataPages = []int{11, 10, 9, 8, 7, 6, 5, 4, 3, 2, 12, 13, 14, 15, 1, 0}
+
+// placeDataForwardCell allocates the seeded memory cell for a
+// memory-to-CPU data-bus test (§4.1): a cell at page:v1 containing v2, so
+// that the load/add instruction's offset-byte -> operand-data transition
+// carries exactly the MA vector pair. An existing cell with the right
+// offset and content is reused.
+func placeDataForwardCell(l *layout, f maf.Fault, pages []int) (uint16, error) {
+	t := maf.TestFor(f)
+	v1 := byte(t.V1.Uint64())
+	v2 := byte(t.V2.Uint64())
+	for _, p := range pages {
+		addr := uint16(p)<<8 | uint16(v1)
+		if l.im.Used(addr) && l.im.Get(addr) == v2 && !l.reserved[addr] && !l.held[addr] {
+			return addr, nil // reuse
+		}
+		if l.free(addr) {
+			if err := l.pin(addr, v2); err != nil {
+				continue
+			}
+			return addr, nil
+		}
+	}
+	return 0, fmt.Errorf("core: %v: no page offers offset %02x for data %02x", f, v1, v2)
+}
+
+// placeDataReverse allocates the cells for a CPU-to-memory data-bus test
+// (§3.1): a constant cell holding v2 (loaded into the accumulator first)
+// and a reserved scratch store target at page:v1, so that the store
+// instruction's offset-byte -> accumulator-write transition carries the
+// pair with v2 driven by the CPU. The scratch is shared between all reverse
+// tests with the same v1 offset (their stores happen at different times);
+// each test reads it back and stores the value to its own response cell,
+// the paper's "additional instructions to retrieve v2 ... and store it to
+// memory".
+// fwdCells tracks the operand cells placed for forward data-bus tests. All
+// forward tests execute before any reverse test, so once a forward test has
+// consumed its cell the reverse tests may store over it — temporal reuse
+// that matters when a vector's offset (e.g. 0x00 for positive glitches)
+// leaves too few free cells for both roles.
+func placeDataReverse(l *layout, f maf.Fault, pages []int, constBase uint16, scratch map[byte]uint16, fwdCells map[uint16]bool) (constAddr, target uint16, err error) {
+	t := maf.TestFor(f)
+	v1 := byte(t.V1.Uint64())
+	v2 := byte(t.V2.Uint64())
+
+	constAddr, err = pinConstant(l, v2, constBase)
+	if err != nil {
+		return 0, 0, fmt.Errorf("core: %v: %w", f, err)
+	}
+	if a, ok := scratch[v1]; ok {
+		return constAddr, a, nil
+	}
+	for _, p := range pages {
+		addr := uint16(p)<<8 | uint16(v1)
+		if !l.free(addr) {
+			continue
+		}
+		if err := l.reserve(addr); err != nil {
+			continue
+		}
+		scratch[v1] = addr
+		return constAddr, addr, nil
+	}
+	// No free cell: reuse a spent forward-test cell at the right offset.
+	for _, p := range pages {
+		addr := uint16(p)<<8 | uint16(v1)
+		if fwdCells[addr] {
+			scratch[v1] = addr
+			return constAddr, addr, nil
+		}
+	}
+	return 0, 0, fmt.Errorf("core: %v: no free store target at offset %02x", f, v1)
+}
+
+// pinConstant finds or creates a cell holding value v, searching the
+// constant pool region first and falling back to any free cell.
+func pinConstant(l *layout, v byte, constBase uint16) (uint16, error) {
+	// Reuse an existing constant in the pool page.
+	for a := constBase; a < constBase+parwan.PageSize && int(a) < parwan.MemSize; a++ {
+		if l.im.Used(a) && l.im.Get(a) == v && !l.reserved[a] && !l.held[a] {
+			return a, nil
+		}
+	}
+	for a := constBase; a < constBase+parwan.PageSize && int(a) < parwan.MemSize; a++ {
+		if l.free(a) {
+			if err := l.pin(a, v); err == nil {
+				return a, nil
+			}
+		}
+	}
+	// Pool exhausted: any free cell will do.
+	a, err := l.findFreeRun(0, 1)
+	if err != nil {
+		return 0, fmt.Errorf("no room for constant %02x: %w", v, err)
+	}
+	if err := l.pin(a, v); err != nil {
+		return 0, err
+	}
+	return a, nil
+}

@@ -1,0 +1,146 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/maf"
+)
+
+func TestPlaceDataForwardCell(t *testing.T) {
+	l := newLayout()
+	f := maf.Fault{Victim: 3, Kind: maf.PositiveGlitch, Dir: maf.Forward, Width: 8}
+	cell, err := placeDataForwardCell(l, f, defaultDataPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := maf.TestFor(f)
+	if cell&0xFF != uint16(t1.V1.Uint64()) {
+		t.Errorf("cell offset %02x, want v1 %02x", cell&0xFF, t1.V1.Uint64())
+	}
+	if l.im.Get(cell) != byte(t1.V2.Uint64()) {
+		t.Errorf("cell content %02x, want v2", l.im.Get(cell))
+	}
+	// A second placement with the same pair reuses the cell.
+	cell2, err := placeDataForwardCell(l, f, defaultDataPages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell2 != cell {
+		t.Errorf("identical test got new cell %03x", cell2)
+	}
+}
+
+func TestPlaceDataForwardCellExhaustion(t *testing.T) {
+	l := newLayout()
+	f := maf.Fault{Victim: 0, Kind: maf.PositiveGlitch, Dir: maf.Forward, Width: 8}
+	t1 := maf.TestFor(f)
+	v1 := uint16(t1.V1.Uint64())
+	// Occupy every page's cell at offset v1 with an incompatible value.
+	for p := 0; p < 16; p++ {
+		if err := l.pin(uint16(p)<<8|v1, 0x01); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := placeDataForwardCell(l, f, defaultDataPages); err == nil {
+		t.Error("placement with exhausted pages accepted")
+	}
+}
+
+func TestPlaceDataReverse(t *testing.T) {
+	l := newLayout()
+	scratch := make(map[byte]uint16)
+	fwd := make(map[uint16]bool)
+	f := maf.Fault{Victim: 2, Kind: maf.NegativeGlitch, Dir: maf.Reverse, Width: 8}
+	constAddr, target, err := placeDataReverse(l, f, defaultDataPages, DefaultConstBase, scratch, fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1 := maf.TestFor(f)
+	if l.im.Get(constAddr) != byte(t1.V2.Uint64()) {
+		t.Errorf("constant holds %02x, want v2", l.im.Get(constAddr))
+	}
+	if target&0xFF != uint16(t1.V1.Uint64()) {
+		t.Errorf("target offset %02x, want v1", target&0xFF)
+	}
+	if !l.reserved[target] {
+		t.Error("target not reserved")
+	}
+	// Same v1 shares the scratch.
+	f2 := maf.Fault{Victim: 5, Kind: maf.NegativeGlitch, Dir: maf.Reverse, Width: 8}
+	_, target2, err := placeDataReverse(l, f2, defaultDataPages, DefaultConstBase, scratch, fwd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if target2 != target {
+		t.Errorf("same-v1 test got different scratch %03x vs %03x", target2, target)
+	}
+}
+
+func TestPlaceDataReverseReusesSpentForwardCell(t *testing.T) {
+	l := newLayout()
+	f := maf.Fault{Victim: 2, Kind: maf.NegativeGlitch, Dir: maf.Reverse, Width: 8}
+	t1 := maf.TestFor(f)
+	v1 := uint16(t1.V1.Uint64())
+	// Exhaust the free cells at offset v1, marking one as a spent forward
+	// cell.
+	fwd := make(map[uint16]bool)
+	for p := 0; p < 16; p++ {
+		addr := uint16(p)<<8 | v1
+		if err := l.pin(addr, 0x01); err != nil {
+			t.Fatal(err)
+		}
+		if p == 9 {
+			fwd[addr] = true
+		}
+	}
+	scratch := make(map[byte]uint16)
+	_, target, err := placeDataReverse(l, f, defaultDataPages, DefaultConstBase, scratch, fwd)
+	if err != nil {
+		t.Fatalf("temporal reuse failed: %v", err)
+	}
+	if target != 0x900|v1 {
+		t.Errorf("target %03x, want the spent forward cell", target)
+	}
+}
+
+func TestPinConstantReuse(t *testing.T) {
+	l := newLayout()
+	a, err := pinConstant(l, 0x42, DefaultConstBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := pinConstant(l, 0x42, DefaultConstBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("constant not reused: %03x vs %03x", a, b)
+	}
+	c, err := pinConstant(l, 0x43, DefaultConstBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Error("different constants share a cell")
+	}
+}
+
+func TestPinConstantFallsBackOutsidePool(t *testing.T) {
+	l := newLayout()
+	// Fill the pool page with a different value.
+	for a := uint16(DefaultConstBase); a < DefaultConstBase+0x100; a++ {
+		if err := l.pin(a, 0x99); err != nil {
+			t.Fatal(err)
+		}
+	}
+	addr, err := pinConstant(l, 0x42, DefaultConstBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr >= DefaultConstBase && addr < DefaultConstBase+0x100 {
+		t.Error("constant landed in the full pool")
+	}
+	if l.im.Get(addr) != 0x42 {
+		t.Error("fallback constant wrong")
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/maf"
+	"repro/internal/parwan"
+)
+
+// Diagnosis support for compacted responses (§4.3, Fig. 8).
+//
+// The compacted rising-delay data-bus group sums one-hot responses: the
+// test for bus line k adds M[page:v1] = 2^k to the accumulator, so with all
+// tests passing the collective signature is 11111111. A rising-delay fault
+// on line k delays the one-hot bit, the CPU receives 0 and adds 0, and the
+// signature's bit k reads 0 — the paper's "the position of the '0' bit
+// tells which test failed". Because contributions are disjoint one-hots,
+// multiple failures never carry into each other.
+
+// ExpectedOneHotSignature is the all-pass collective signature of a full
+// 8-line one-hot group (Fig. 8: 10000000 + 01000000 + ... + 00000001).
+const ExpectedOneHotSignature uint8 = 0xFF
+
+// DiagnoseOneHotSignature interprets a compacted one-hot signature: it
+// returns the bus lines (0 = LSB) whose contribution is missing. A nil
+// result means all tests passed. The diagnosis is exact for rising-delay
+// failures; responses corrupted by glitch effects during the group's
+// execution can alias (a limitation inherent to compaction, quantified by
+// the A4 ablation).
+func DiagnoseOneHotSignature(signature uint8) []int {
+	if signature == ExpectedOneHotSignature {
+		return nil
+	}
+	var lines []int
+	for k := 0; k < parwan.DataBits; k++ {
+		if signature&(1<<uint(k)) == 0 {
+			lines = append(lines, k)
+		}
+	}
+	return lines
+}
+
+// OneHotGroupCell locates the shared response cell of the compacted
+// rising-delay forward data-bus group in a compaction-mode program. It
+// fails when the program was not generated with compaction or carries no
+// such group.
+func (p *TestProgram) OneHotGroupCell() (uint16, error) {
+	var cell uint16
+	found := false
+	for _, a := range p.Applied {
+		if a.Bus != DataBus || a.Scheme != DataForward || a.MA.Fault.Kind != maf.RisingDelay {
+			continue
+		}
+		if found && a.ResponseCells[0] != cell {
+			return 0, fmt.Errorf("core: rising-delay tests do not share a response cell; program is not compacted")
+		}
+		cell = a.ResponseCells[0]
+		found = true
+	}
+	if !found {
+		return 0, fmt.Errorf("core: program has no rising-delay forward data-bus tests")
+	}
+	return cell, nil
+}

@@ -1,0 +1,188 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/crosstalk"
+	"repro/internal/maf"
+	"repro/internal/parwan"
+	"repro/internal/soc"
+)
+
+func TestDiagnoseOneHotSignature(t *testing.T) {
+	if got := core.DiagnoseOneHotSignature(0xFF); got != nil {
+		t.Errorf("all-pass signature diagnosed %v", got)
+	}
+	got := core.DiagnoseOneHotSignature(0xFF &^ (1 << 3))
+	if len(got) != 1 || got[0] != 3 {
+		t.Errorf("single failure diagnosed %v, want [3]", got)
+	}
+	got = core.DiagnoseOneHotSignature(0xFF &^ (1<<1 | 1<<6))
+	if len(got) != 2 || got[0] != 1 || got[1] != 6 {
+		t.Errorf("double failure diagnosed %v, want [1 6]", got)
+	}
+	if got := core.DiagnoseOneHotSignature(0x00); len(got) != 8 {
+		t.Errorf("all-fail diagnosed %d lines", len(got))
+	}
+}
+
+// TestFig8SignatureIsFF: the compacted rising-delay group's golden
+// signature equals Fig. 8's 11111111 — the one-hot contributions of all
+// eight lines sum to full scale.
+func TestFig8SignatureIsFF(t *testing.T) {
+	plan, err := core.Generate(core.GenConfig{Compaction: true, SkipAddrBus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := plan.Programs[0]
+	cell, err := prog.OneHotGroupCell()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := soc.New(soc.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LoadImage(prog.Image)
+	s.CPU.PC = prog.Entry
+	if _, err := s.Run(prog.StepLimit); err != nil {
+		t.Fatal(err)
+	}
+	if !s.CPU.Halted() {
+		t.Fatal("did not halt")
+	}
+	if got := s.Peek(cell); got != core.ExpectedOneHotSignature {
+		t.Errorf("golden signature = %02x, want ff (Fig. 8)", got)
+	}
+}
+
+// TestFig8DiagnosisAtBusLevel reproduces Fig. 8's compaction arithmetic
+// directly on the bus: each rising-delay MA pair is transmitted through a
+// defective channel and the received one-hot responses are summed; the
+// victim's contribution is lost and the signature's zero bit names it.
+func TestFig8DiagnosisAtBusLevel(t *testing.T) {
+	for victim := 0; victim < parwan.DataBits; victim++ {
+		nom := crosstalk.Nominal(parwan.DataBits)
+		th, err := crosstalk.DeriveThresholds(nom, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := nom.Clone()
+		scale := 1.07 * th.Cth / p.NetCoupling(victim)
+		for j := 0; j < p.Width; j++ {
+			if j != victim {
+				p.Cc[victim][j] *= scale
+				p.Cc[j][victim] *= scale
+			}
+		}
+		ch, err := crosstalk.NewChannel(p, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var signature uint8
+		for k := 0; k < parwan.DataBits; k++ {
+			v1, v2 := maf.Vectors(maf.RisingDelay, k, parwan.DataBits)
+			recv, _ := ch.Transmit(v1, v2, maf.Forward)
+			signature += uint8(recv.Uint64())
+		}
+		lines := core.DiagnoseOneHotSignature(signature)
+		found := false
+		for _, l := range lines {
+			if l == victim {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("victim %d: signature %02x diagnosed %v, missing the victim", victim, signature, lines)
+		}
+		// Interior victims diagnose exactly; an edge victim's scaled
+		// couplings physically drag its neighbour over threshold, so the
+		// diagnosis correctly names both.
+		if victim >= 1 && victim <= 6 && len(lines) != 1 {
+			t.Errorf("interior victim %d: diagnosis %v not exact", victim, lines)
+		}
+	}
+}
+
+// TestEndToEndDiagnosis: on the full program, a marginal data-bus defect is
+// either diagnosed from the compacted signature's missing bit or crashes
+// the run (incidental complement transitions in the instruction stream are
+// themselves maximum-aggressor patterns) — both are tester-visible, and
+// when the signature survives, its zero bit names the victim.
+func TestEndToEndDiagnosis(t *testing.T) {
+	plan, err := core.Generate(core.GenConfig{Compaction: true, SkipAddrBus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := plan.Programs[0]
+	cell, err := prog.OneHotGroupCell()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diagnosed := 0
+	for _, victim := range []int{2, 4, 6} {
+		nom := crosstalk.Nominal(parwan.DataBits)
+		th, err := crosstalk.DeriveThresholds(nom, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Between Cth and the glitch margin: delay errors only.
+		p := nom.Clone()
+		scale := 1.07 * th.Cth / p.NetCoupling(victim)
+		for j := 0; j < p.Width; j++ {
+			if j != victim {
+				p.Cc[victim][j] *= scale
+				p.Cc[j][victim] *= scale
+			}
+		}
+		ch, err := crosstalk.NewChannel(p, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := soc.New(soc.Config{DataChannel: ch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.LoadImage(prog.Image)
+		s.CPU.PC = prog.Entry
+		_, runErr := s.Run(prog.StepLimit)
+		if runErr != nil || !s.CPU.Halted() {
+			continue // crashed: detected, but no signature to diagnose
+		}
+		lines := core.DiagnoseOneHotSignature(s.Peek(cell))
+		found := false
+		for _, l := range lines {
+			if l == victim {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("victim %d: clean run but diagnosis %v misses it (signature %02x)",
+				victim, lines, s.Peek(cell))
+		} else {
+			diagnosed++
+		}
+	}
+	t.Logf("diagnosed %d/3 victims from surviving signatures (others crashed, which a tester also observes)", diagnosed)
+}
+
+// TestOneHotGroupCellErrors: a non-compacted program has no shared cell.
+func TestOneHotGroupCellErrors(t *testing.T) {
+	plain, err := core.Generate(core.GenConfig{SkipAddrBus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := plain.Programs[0].OneHotGroupCell(); err == nil {
+		t.Error("non-compacted program yielded a shared cell")
+	}
+	addrOnly, err := core.Generate(core.GenConfig{SkipDataBus: true, Compaction: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := addrOnly.Programs[0].OneHotGroupCell(); err == nil {
+		t.Error("address-only program yielded a data-bus group cell")
+	}
+	_ = maf.RisingDelay
+}

@@ -1,0 +1,35 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/crosstalk"
+)
+
+// defectiveChannelIf builds a nominal channel of the given width; when
+// defective is true, the victim wire's couplings are scaled so its net
+// coupling is factor * Cth.
+func defectiveChannelIf(t *testing.T, defective bool, width, victim int, factor float64) *crosstalk.Channel {
+	t.Helper()
+	nom := crosstalk.Nominal(width)
+	th, err := crosstalk.DeriveThresholds(nom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nom
+	if defective {
+		p = nom.Clone()
+		scale := factor * th.Cth / p.NetCoupling(victim)
+		for j := 0; j < width; j++ {
+			if j != victim {
+				p.Cc[victim][j] *= scale
+				p.Cc[j][victim] *= scale
+			}
+		}
+	}
+	ch, err := crosstalk.NewChannel(p, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}

@@ -1,0 +1,180 @@
+// Package core implements the paper's contribution: generation of
+// software-based self-test programs that apply maximum-aggressor crosstalk
+// tests to the address and data busses of a CPU-memory system by executing
+// ordinary load/store/add instructions in the processor's normal functional
+// mode (paper §3-§4).
+//
+// The generator builds, for the 8-bit bidirectional data bus and the 12-bit
+// unidirectional address bus of the Parwan system:
+//
+//   - data-bus tests in the memory-to-CPU direction via the load (or add)
+//     instruction's offset-byte -> operand-data transition (§4.1);
+//   - data-bus tests in the CPU-to-memory direction via the store
+//     instruction's offset-byte -> accumulator-write transition (§3.1);
+//   - address-bus delay tests by placing the instruction so its second byte
+//     sits at v1 and its operand address is v2 (§4.2.1);
+//   - address-bus glitch tests with the two-instruction scheme that uses the
+//     operand-access -> next-fetch transition, avoiding the address
+//     conflicts single-instruction glitch tests would cause (§4.2.2);
+//   - optional response compaction by summing one-hot responses in the
+//     accumulator (§4.3).
+//
+// Tests whose memory footprints conflict (the paper's "address conflicts",
+// which cost it 7 of 48 address-bus tests in a single program) are deferred
+// into follow-up sessions, each a standalone program (§5).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/maf"
+	"repro/internal/parwan"
+)
+
+// BusID identifies which system bus a test targets.
+type BusID int
+
+// The two busses of the CPU-memory system.
+const (
+	DataBus BusID = iota
+	AddrBus
+)
+
+// String names the bus.
+func (b BusID) String() string {
+	switch b {
+	case DataBus:
+		return "data"
+	case AddrBus:
+		return "addr"
+	default:
+		return fmt.Sprintf("BusID(%d)", int(b))
+	}
+}
+
+// Scheme is the program construction used to apply a test.
+type Scheme int
+
+// The four constructions of §4.
+const (
+	// DataForward applies a data-bus pair memory-to-CPU via a load/add
+	// operand fetch (§4.1).
+	DataForward Scheme = iota
+	// DataReverse applies a data-bus pair CPU-to-memory via a store (§3.1).
+	DataReverse
+	// AddrDirect applies an address-bus pair via instruction placement at
+	// v1-1 with operand address v2 (§4.2.1; the paper uses it for delay
+	// faults).
+	AddrDirect
+	// AddrTwoInstr applies an address-bus pair via the two-instruction
+	// scheme using the operand-access -> next-fetch transition (§4.2.2; the
+	// paper introduces it for glitch faults, whose shared v1 vector would
+	// otherwise cause address conflicts, but it applies to any pair and
+	// serves as the fallback when AddrDirect placement conflicts).
+	AddrTwoInstr
+)
+
+// String names the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case DataForward:
+		return "data-fwd"
+	case DataReverse:
+		return "data-rev"
+	case AddrDirect:
+		return "addr-direct"
+	case AddrTwoInstr:
+		return "addr-two-instr"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// AppliedTest records one MA test successfully embedded in a program.
+type AppliedTest struct {
+	MA     maf.Test
+	Bus    BusID
+	Scheme Scheme
+	// ResponseCells are the memory addresses whose post-run contents carry
+	// this test's response. With compaction several tests share a cell.
+	ResponseCells []uint16
+	// Order is the test's position in program execution order.
+	Order int
+}
+
+// String renders the applied test.
+func (a AppliedTest) String() string {
+	return fmt.Sprintf("%v via %v", a.MA, a.Scheme)
+}
+
+// TestProgram is one self-test program (one session): a memory image, an
+// entry point, and the bookkeeping needed to interpret its responses.
+type TestProgram struct {
+	Session int
+	Image   *parwan.Image
+	Entry   uint16
+	Applied []AppliedTest
+	// ResponseCells is the union of all tests' response cells, sorted in
+	// ascending order; comparing these against a golden run decides
+	// pass/fail.
+	ResponseCells []uint16
+	// StepLimit bounds simulation of the program (generously above the
+	// golden instruction count so that corrupted control flow is detected
+	// as a hang rather than looping forever).
+	StepLimit int
+}
+
+// Rejected records an MA test that could not be placed, and why.
+type Rejected struct {
+	MA     maf.Test
+	Bus    BusID
+	Reason string
+}
+
+// Plan is the complete generation result: one or more session programs plus
+// the tests that could not be placed in any session.
+type Plan struct {
+	Programs     []*TestProgram
+	Inapplicable []Rejected
+	// Compaction records whether responses were compacted (§4.3).
+	Compaction bool
+}
+
+// TotalApplied returns the number of MA tests applied across all sessions.
+func (p *Plan) TotalApplied() int {
+	n := 0
+	for _, prog := range p.Programs {
+		n += len(prog.Applied)
+	}
+	return n
+}
+
+// AppliedOn returns the number of tests applied for one bus across all
+// sessions, and in the first session alone (the paper reports the
+// single-program number: 64/64 data, 41/48 address).
+func (p *Plan) AppliedOn(bus BusID) (total, firstSession int) {
+	for _, prog := range p.Programs {
+		for _, a := range prog.Applied {
+			if a.Bus != bus {
+				continue
+			}
+			total++
+			if prog.Session == 0 {
+				firstSession++
+			}
+		}
+	}
+	return total, firstSession
+}
+
+// FindApplied locates the applied record for a fault across all sessions.
+func (p *Plan) FindApplied(f maf.Fault) (*TestProgram, *AppliedTest, bool) {
+	for _, prog := range p.Programs {
+		for i := range prog.Applied {
+			if prog.Applied[i].MA.Fault == f {
+				return prog, &prog.Applied[i], true
+			}
+		}
+	}
+	return nil, nil, false
+}

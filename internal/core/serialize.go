@@ -1,0 +1,210 @@
+package core
+
+import (
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/maf"
+	"repro/internal/parwan"
+)
+
+// Serialized forms of the plan, for handing programs to an external tester
+// flow (or another tool) and loading them back. The memory image is stored
+// as sparse hex chunks so the file stays reviewable.
+
+type planJSON struct {
+	Compaction   bool           `json:"compaction"`
+	Programs     []programJSON  `json:"programs"`
+	Inapplicable []rejectedJSON `json:"inapplicable,omitempty"`
+}
+
+type programJSON struct {
+	Session       int           `json:"session"`
+	Entry         uint16        `json:"entry"`
+	StepLimit     int           `json:"step_limit"`
+	ResponseCells []uint16      `json:"response_cells"`
+	Applied       []appliedJSON `json:"applied"`
+	Chunks        []chunkJSON   `json:"image"`
+}
+
+type chunkJSON struct {
+	Addr uint16 `json:"addr"`
+	Hex  string `json:"hex"`
+}
+
+type appliedJSON struct {
+	Victim        int      `json:"victim"`
+	Kind          string   `json:"kind"`
+	Dir           string   `json:"dir"`
+	Width         int      `json:"width"`
+	Bus           string   `json:"bus"`
+	Scheme        string   `json:"scheme"`
+	Order         int      `json:"order"`
+	ResponseCells []uint16 `json:"response_cells"`
+}
+
+type rejectedJSON struct {
+	Victim int    `json:"victim"`
+	Kind   string `json:"kind"`
+	Dir    string `json:"dir"`
+	Width  int    `json:"width"`
+	Bus    string `json:"bus"`
+	Reason string `json:"reason"`
+}
+
+var kindNames = map[string]maf.Kind{
+	"gp": maf.PositiveGlitch, "gn": maf.NegativeGlitch,
+	"dr": maf.RisingDelay, "df": maf.FallingDelay,
+}
+
+var busNames = map[string]BusID{"data": DataBus, "addr": AddrBus}
+
+var schemeNames = map[string]Scheme{
+	"data-fwd": DataForward, "data-rev": DataReverse,
+	"addr-direct": AddrDirect, "addr-two-instr": AddrTwoInstr,
+}
+
+// WritePlan serialises the plan as JSON.
+func WritePlan(w io.Writer, p *Plan) error {
+	out := planJSON{Compaction: p.Compaction}
+	for _, prog := range p.Programs {
+		pj := programJSON{
+			Session:       prog.Session,
+			Entry:         prog.Entry,
+			StepLimit:     prog.StepLimit,
+			ResponseCells: prog.ResponseCells,
+		}
+		for _, a := range prog.Applied {
+			pj.Applied = append(pj.Applied, appliedJSON{
+				Victim: a.MA.Fault.Victim, Kind: a.MA.Fault.Kind.String(),
+				Dir: a.MA.Fault.Dir.String(), Width: a.MA.Fault.Width,
+				Bus: a.Bus.String(), Scheme: a.Scheme.String(),
+				Order: a.Order, ResponseCells: a.ResponseCells,
+			})
+		}
+		addrs := prog.Image.UsedAddrs()
+		for i := 0; i < len(addrs); {
+			j := i
+			for j+1 < len(addrs) && addrs[j+1] == addrs[j]+1 {
+				j++
+			}
+			run := make([]byte, 0, j-i+1)
+			for k := i; k <= j; k++ {
+				run = append(run, prog.Image.Get(addrs[k]))
+			}
+			pj.Chunks = append(pj.Chunks, chunkJSON{Addr: addrs[i], Hex: hex.EncodeToString(run)})
+			i = j + 1
+		}
+		out.Programs = append(out.Programs, pj)
+	}
+	for _, r := range p.Inapplicable {
+		out.Inapplicable = append(out.Inapplicable, rejectedJSON{
+			Victim: r.MA.Fault.Victim, Kind: r.MA.Fault.Kind.String(),
+			Dir: r.MA.Fault.Dir.String(), Width: r.MA.Fault.Width,
+			Bus: r.Bus.String(), Reason: r.Reason,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadPlan parses a plan previously produced by WritePlan.
+func ReadPlan(r io.Reader) (*Plan, error) {
+	var in planJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("core: decoding plan: %w", err)
+	}
+	p := &Plan{Compaction: in.Compaction}
+	parseFault := func(victim int, kind, dir string, width int) (maf.Fault, error) {
+		k, ok := kindNames[kind]
+		if !ok {
+			return maf.Fault{}, fmt.Errorf("core: unknown fault kind %q", kind)
+		}
+		d := maf.Forward
+		if dir == "rev" {
+			d = maf.Reverse
+		} else if dir != "fwd" {
+			return maf.Fault{}, fmt.Errorf("core: unknown direction %q", dir)
+		}
+		if victim < 0 || victim >= width {
+			return maf.Fault{}, fmt.Errorf("core: victim %d out of range for width %d", victim, width)
+		}
+		return maf.Fault{Victim: victim, Kind: k, Dir: d, Width: width}, nil
+	}
+	for _, pj := range in.Programs {
+		prog := &TestProgram{
+			Session:       pj.Session,
+			Entry:         pj.Entry,
+			StepLimit:     pj.StepLimit,
+			ResponseCells: pj.ResponseCells,
+			Image:         parwan.NewImage(),
+		}
+		for _, c := range pj.Chunks {
+			bs, err := hex.DecodeString(c.Hex)
+			if err != nil {
+				return nil, fmt.Errorf("core: chunk at %03x: %w", c.Addr, err)
+			}
+			if err := prog.Image.SetBytes(c.Addr, bs); err != nil {
+				return nil, err
+			}
+		}
+		for _, a := range pj.Applied {
+			f, err := parseFault(a.Victim, a.Kind, a.Dir, a.Width)
+			if err != nil {
+				return nil, err
+			}
+			bus, ok := busNames[a.Bus]
+			if !ok {
+				return nil, fmt.Errorf("core: unknown bus %q", a.Bus)
+			}
+			scheme, ok := schemeNames[a.Scheme]
+			if !ok {
+				return nil, fmt.Errorf("core: unknown scheme %q", a.Scheme)
+			}
+			prog.Applied = append(prog.Applied, AppliedTest{
+				MA: maf.TestFor(f), Bus: bus, Scheme: scheme,
+				Order: a.Order, ResponseCells: a.ResponseCells,
+			})
+		}
+		p.Programs = append(p.Programs, prog)
+	}
+	for _, r := range in.Inapplicable {
+		f, err := parseFault(r.Victim, r.Kind, r.Dir, r.Width)
+		if err != nil {
+			return nil, err
+		}
+		bus, ok := busNames[r.Bus]
+		if !ok {
+			return nil, fmt.Errorf("core: unknown bus %q", r.Bus)
+		}
+		p.Inapplicable = append(p.Inapplicable, Rejected{MA: maf.TestFor(f), Bus: bus, Reason: r.Reason})
+	}
+	return p, nil
+}
+
+// SavePlan writes the plan to a file.
+func SavePlan(path string, p *Plan) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WritePlan(f, p); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPlan reads a plan from a file.
+func LoadPlan(path string) (*Plan, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPlan(f)
+}

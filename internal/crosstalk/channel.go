@@ -1,0 +1,160 @@
+package crosstalk
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+	"repro/internal/maf"
+)
+
+// Event records one crosstalk error produced during a bus transition: which
+// wire erred, which MAF error effect it exhibited, and the analogue magnitude
+// that crossed the threshold (glitch peak as a fraction of Vdd, or delay in
+// seconds).
+type Event struct {
+	Wire      int
+	Kind      maf.Kind
+	Magnitude float64
+}
+
+// String renders the event for traces.
+func (e Event) String() string {
+	return fmt.Sprintf("%s[%d](%.3g)", e.Kind, e.Wire, e.Magnitude)
+}
+
+// WireAnalysis is the per-wire analogue result of analysing one bus
+// transition, before thresholding.
+type WireAnalysis struct {
+	Transition logic.Transition
+	// GlitchFrac is the glitch peak as a fraction of Vdd, signed toward the
+	// flip direction (only meaningful when the wire is stable). Positive
+	// means the coupled charge pushes the wire toward its complementary
+	// level.
+	GlitchFrac float64
+	// Delay is the Elmore propagation delay in seconds (only meaningful when
+	// the wire transitions).
+	Delay float64
+}
+
+// Channel transmits bus words through the crosstalk model: a parameter set
+// (possibly a perturbed, defective one) judged against a fixed threshold set
+// derived from the nominal geometry.
+type Channel struct {
+	p  *Params
+	th Thresholds
+}
+
+// NewChannel builds a channel over the given (possibly defective) parameters
+// using thresholds derived from the nominal geometry.
+func NewChannel(p *Params, th Thresholds) (*Channel, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if err := th.Validate(); err != nil {
+		return nil, err
+	}
+	return &Channel{p: p, th: th}, nil
+}
+
+// Params returns the channel's parameter set.
+func (c *Channel) Params() *Params { return c.p }
+
+// Thresholds returns the channel's threshold set.
+func (c *Channel) Thresholds() Thresholds { return c.th }
+
+// Width returns the bus width.
+func (c *Channel) Width() int { return c.p.Width }
+
+// Analyze computes the analogue crosstalk response of every wire for the
+// transition v1 -> v2 driven in direction dir, without thresholding.
+func (c *Channel) Analyze(v1, v2 logic.Word, dir maf.Direction) []WireAnalysis {
+	if v1.Width() != c.p.Width || v2.Width() != c.p.Width {
+		panic(fmt.Sprintf("crosstalk: word width %d/%d does not match %d-wire channel",
+			v1.Width(), v2.Width(), c.p.Width))
+	}
+	ts := logic.Transitions(v1, v2)
+	out := make([]WireAnalysis, c.p.Width)
+	r := c.p.RDrive[dir]
+	for i := range out {
+		out[i].Transition = ts[i]
+		if ts[i].IsEdge() {
+			// Miller-weighted Elmore delay: opposing aggressor edges count
+			// double, quiet aggressors once, same-direction edges zero.
+			ceff := c.p.Cg[i]
+			for j, tr := range ts {
+				if j == i {
+					continue
+				}
+				switch {
+				case tr.IsEdge() && tr != ts[i]:
+					ceff += 2 * c.p.Cc[i][j]
+				case !tr.IsEdge():
+					ceff += c.p.Cc[i][j]
+				}
+			}
+			out[i].Delay = ln2 * r * ceff
+			continue
+		}
+		// Stable victim: net coupled charge from switching aggressors.
+		// Rising aggressors push the victim up, falling aggressors pull it
+		// down; the sign convention makes "toward the flip" positive.
+		var push, ctot float64
+		for j, tr := range ts {
+			if j == i {
+				continue
+			}
+			ctot += c.p.Cc[i][j]
+			switch tr {
+			case logic.Rising:
+				push += c.p.Cc[i][j]
+			case logic.Falling:
+				push -= c.p.Cc[i][j]
+			}
+		}
+		if ts[i] == logic.Stable1 {
+			push = -push // a downward pull flips a high wire
+		}
+		out[i].GlitchFrac = push / (c.p.Cg[i] + ctot)
+	}
+	return out
+}
+
+// Transmit applies the transition v1 -> v2 to the bus in direction dir and
+// returns the word latched at the receiver, together with the error events
+// (empty when the transfer is clean). A wire whose transition is delayed past
+// the sampling slack latches its previous value; a stable wire whose glitch
+// peak exceeds the receiver threshold latches the flipped value.
+func (c *Channel) Transmit(v1, v2 logic.Word, dir maf.Direction) (logic.Word, []Event) {
+	analysis := c.Analyze(v1, v2, dir)
+	received := v2
+	var events []Event
+	for i, wa := range analysis {
+		if wa.Transition.IsEdge() {
+			if wa.Delay > c.th.Slack[dir] {
+				received = received.WithBit(i, v1.Bit(i))
+				kind := maf.RisingDelay
+				if wa.Transition == logic.Falling {
+					kind = maf.FallingDelay
+				}
+				events = append(events, Event{Wire: i, Kind: kind, Magnitude: wa.Delay})
+			}
+			continue
+		}
+		if wa.GlitchFrac > c.th.GlitchFrac {
+			received = received.FlipBit(i)
+			kind := maf.PositiveGlitch
+			if wa.Transition == logic.Stable1 {
+				kind = maf.NegativeGlitch
+			}
+			events = append(events, Event{Wire: i, Kind: kind, Magnitude: wa.GlitchFrac})
+		}
+	}
+	return received, events
+}
+
+// Clean reports whether the transition v1 -> v2 transfers without error in
+// direction dir.
+func (c *Channel) Clean(v1, v2 logic.Word, dir maf.Direction) bool {
+	_, events := c.Transmit(v1, v2, dir)
+	return len(events) == 0
+}

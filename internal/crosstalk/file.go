@@ -1,0 +1,73 @@
+package crosstalk
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// parameterFile is the on-disk form of a bus description: the capacitance
+// network plus the threshold set, mirroring the "parameter file" consumed by
+// the paper's HDL-level error model.
+type parameterFile struct {
+	Params     *Params    `json:"params"`
+	Thresholds Thresholds `json:"thresholds"`
+}
+
+// Write serialises the parameter set and thresholds as JSON.
+func Write(w io.Writer, p *Params, th Thresholds) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if err := th.Validate(); err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(parameterFile{Params: p, Thresholds: th}); err != nil {
+		return fmt.Errorf("crosstalk: encoding parameter file: %w", err)
+	}
+	return nil
+}
+
+// Read parses a parameter file previously produced by Write.
+func Read(r io.Reader) (*Params, Thresholds, error) {
+	var pf parameterFile
+	if err := json.NewDecoder(r).Decode(&pf); err != nil {
+		return nil, Thresholds{}, fmt.Errorf("crosstalk: decoding parameter file: %w", err)
+	}
+	if pf.Params == nil {
+		return nil, Thresholds{}, fmt.Errorf("crosstalk: parameter file missing params")
+	}
+	if err := pf.Params.Validate(); err != nil {
+		return nil, Thresholds{}, err
+	}
+	if err := pf.Thresholds.Validate(); err != nil {
+		return nil, Thresholds{}, err
+	}
+	return pf.Params, pf.Thresholds, nil
+}
+
+// WriteFile writes the parameter file to path.
+func WriteFile(path string, p *Params, th Thresholds) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Write(f, p, th); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads a parameter file from path.
+func ReadFile(path string) (*Params, Thresholds, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, Thresholds{}, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,55 @@
+package crosstalk
+
+import "repro/internal/maf"
+
+// WireMargin is one wire's worst-case stress summary: how close the wire
+// sits to its error thresholds under its own maximum-aggressor patterns.
+// The signoff-style view a designer would ask of a bus description.
+type WireMargin struct {
+	Wire        int
+	NetCoupling float64 // sum of coupling capacitance (F)
+	CthRatio    float64 // NetCoupling / Cth; > 1 means MA delay patterns err
+	// GlitchFrac is the worst glitch peak (fraction of Vdd) under the
+	// wire's MA glitch pattern, against Thresholds.GlitchFrac.
+	GlitchFrac float64
+	// Delay is the worst Elmore delay (s) per drive direction under the
+	// wire's MA delay pattern, against Thresholds.Slack.
+	Delay [2]float64
+}
+
+// Margins analyses every wire of the channel under its own MA patterns.
+func Margins(c *Channel) []WireMargin {
+	width := c.Width()
+	out := make([]WireMargin, width)
+	for w := 0; w < width; w++ {
+		m := WireMargin{Wire: w, NetCoupling: c.p.NetCoupling(w)}
+		m.CthRatio = m.NetCoupling / c.th.Cth
+
+		gv1, gv2 := maf.Vectors(maf.PositiveGlitch, w, width)
+		dv1, dv2 := maf.Vectors(maf.RisingDelay, w, width)
+		for d := maf.Direction(0); d < 2; d++ {
+			ga := c.Analyze(gv1, gv2, d)
+			if ga[w].GlitchFrac > m.GlitchFrac {
+				m.GlitchFrac = ga[w].GlitchFrac
+			}
+			da := c.Analyze(dv1, dv2, d)
+			m.Delay[d] = da[w].Delay
+		}
+		out[w] = m
+	}
+	return out
+}
+
+// Exceeds reports whether the wire errs under any of its MA patterns given
+// the channel's thresholds.
+func (m WireMargin) Exceeds(th Thresholds) bool {
+	if m.GlitchFrac > th.GlitchFrac {
+		return true
+	}
+	for d, dl := range m.Delay {
+		if dl > th.Slack[d] {
+			return true
+		}
+	}
+	return false
+}

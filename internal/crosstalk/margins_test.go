@@ -1,0 +1,64 @@
+package crosstalk
+
+import (
+	"testing"
+)
+
+func TestMarginsNominal(t *testing.T) {
+	c := nominalChannel(t, 12)
+	ms := Margins(c)
+	if len(ms) != 12 {
+		t.Fatalf("margins length %d", len(ms))
+	}
+	for _, m := range ms {
+		if m.CthRatio >= 1 {
+			t.Errorf("wire %d nominal CthRatio %.3f >= 1", m.Wire, m.CthRatio)
+		}
+		if m.Exceeds(c.Thresholds()) {
+			t.Errorf("wire %d nominal margins exceed thresholds", m.Wire)
+		}
+		if m.GlitchFrac <= 0 || m.Delay[0] <= 0 || m.Delay[1] <= 0 {
+			t.Errorf("wire %d degenerate margins %+v", m.Wire, m)
+		}
+	}
+	// Centre wires sit closer to the threshold than edge wires.
+	if ms[5].CthRatio <= ms[0].CthRatio {
+		t.Errorf("centre ratio %.3f not above edge %.3f", ms[5].CthRatio, ms[0].CthRatio)
+	}
+}
+
+func TestMarginsDefective(t *testing.T) {
+	c := defective(t, 12, 5, 1.3)
+	ms := Margins(c)
+	if ms[5].CthRatio <= 1 {
+		t.Errorf("defective wire ratio %.3f", ms[5].CthRatio)
+	}
+	if !ms[5].Exceeds(c.Thresholds()) {
+		t.Error("defective wire does not exceed thresholds")
+	}
+	// Distant wires stay within margin.
+	if ms[11].Exceeds(c.Thresholds()) {
+		t.Error("distant wire dragged over thresholds")
+	}
+}
+
+func TestMarginsDirectionality(t *testing.T) {
+	nom := Nominal(8)
+	th, err := DeriveThresholds(nom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nom.Clone()
+	p.RDrive[1] *= 2
+	c, err := NewChannel(p, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := Margins(c)
+	for _, m := range ms {
+		if m.Delay[1] <= m.Delay[0] {
+			t.Errorf("wire %d: weak-driver delay %.3g not above strong %.3g",
+				m.Wire, m.Delay[1], m.Delay[0])
+		}
+	}
+}

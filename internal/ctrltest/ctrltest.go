@@ -1,0 +1,225 @@
+// Package ctrltest extends the software-based self-test methodology to the
+// control bus — the paper's named future work ("the testing of control
+// busses [is a] subject of future study", §3/§6).
+//
+// The modelled control bus has two wires (read strobe, write strobe) that
+// always carry exactly one asserted command. That functional invariant
+// shapes the fault universe sharply:
+//
+//   - The two MA delay pairs, read→write (01→10) and write→read (10→01),
+//     occur on every store-then-load sequence, so delay faults are testable
+//     from software.
+//   - The MA glitch pairs need an idle (00) or double-asserted (11) command
+//     as their first vector — patterns the functional mode can never drive.
+//     A hardware BIST that applies them in test mode therefore over-tests
+//     the control bus by construction, the same yield-loss argument the
+//     paper makes for the data busses.
+//
+// Of the four delay faults, three corrupt observable behaviour in our
+// command semantics (a late-rising write strobe loses the store; a
+// late-rising read strobe or late-falling write strobe turns a load into a
+// stale-data latch); the fourth (late-falling read strobe during a write)
+// only causes momentary bus contention, which the first-order model treats
+// as benign.
+package ctrltest
+
+import (
+	"fmt"
+
+	"repro/internal/crosstalk"
+	"repro/internal/logic"
+	"repro/internal/maf"
+	"repro/internal/parwan"
+	"repro/internal/soc"
+)
+
+// Control-bus wire roles.
+const (
+	WireRead  = 0 // read strobe
+	WireWrite = 1 // write strobe
+)
+
+// Universe returns the 8 MAFs of the 2-wire control bus.
+func Universe() []maf.Fault {
+	return maf.Universe(soc.CtrlBits, false)
+}
+
+// Reachable reports whether the fault's MA pair can occur in the normal
+// functional mode, where the bus only ever carries 01 or 10.
+func Reachable(f maf.Fault) bool {
+	t := maf.TestFor(f)
+	valid := func(w logic.Word) bool {
+		v := w.Uint64()
+		return v == soc.CtrlRead || v == soc.CtrlWrite
+	}
+	return valid(t.V1) && valid(t.V2)
+}
+
+// Observable reports whether the fault's functional effect is visible in
+// the command semantics (see the package comment): every reachable fault
+// except the late-falling read strobe during a write.
+func Observable(f maf.Fault) bool {
+	if !Reachable(f) {
+		return false
+	}
+	return !(f.Victim == WireRead && f.Kind == maf.FallingDelay)
+}
+
+// Program is a control-bus self-test program.
+type Program struct {
+	Image         *parwan.Image
+	Entry         uint16
+	ResponseCells []uint16
+	StepLimit     int
+	// Covered lists the control MAFs whose corruption the program's
+	// responses expose.
+	Covered []maf.Fault
+}
+
+// Memory layout of the generated program.
+const (
+	entry   = 0x050
+	constB  = 0x100 // holds 0x5B
+	otherC  = 0x101 // holds 0xC3
+	scratch = 0x200 // written at run time
+	resp1   = 0x201
+	resp2   = 0x202
+	valueB  = 0x5B
+	valueC  = 0xC3
+)
+
+// Generate builds the control-bus self-test program:
+//
+//	lda constB     ; AC := B
+//	sta scratch    ; 01→10 pair: a late write strobe loses the store
+//	lda otherC     ; 10→01 pair: a late read strobe (or lingering write
+//	               ;   strobe) latches the held value B instead of C
+//	sta resp1      ; golden C
+//	lda scratch    ; golden B; 0 if the store was lost
+//	sta resp2      ; golden B
+//	halt
+func Generate() (*Program, error) {
+	src := fmt.Sprintf(`
+		.org 0x%03x
+		lda 1:00
+		sta 2:00
+		lda 1:01
+		sta 2:01
+		lda 2:00
+		sta 2:02
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x%02x, 0x%02x
+	`, entry, valueB, valueC)
+	im, _, err := parwan.AssembleString(src)
+	if err != nil {
+		return nil, err
+	}
+	var covered []maf.Fault
+	for _, f := range Universe() {
+		if Observable(f) {
+			covered = append(covered, f)
+		}
+	}
+	return &Program{
+		Image:         im,
+		Entry:         entry,
+		ResponseCells: []uint16{resp1, resp2},
+		StepLimit:     100,
+		Covered:       covered,
+	}, nil
+}
+
+// Result is one program execution's observable outcome. A control-bus
+// defect can derail instruction fetches (the first fetch after every store
+// is itself the write→read pair), so a run may crash or hang — which a
+// tester observes as a timeout, just like a response mismatch.
+type Result struct {
+	Responses map[uint16]uint8
+	Halted    bool
+	ExecErr   error
+}
+
+// Run executes the program on a system whose control bus uses the given
+// parameters (nil for the ideal bus).
+func (p *Program) Run(ctrlParams *crosstalk.Params, th crosstalk.Thresholds) (Result, error) {
+	var ch *crosstalk.Channel
+	if ctrlParams != nil {
+		var err error
+		ch, err = crosstalk.NewChannel(ctrlParams, th)
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	sys, err := soc.New(soc.Config{CtrlChannel: ch})
+	if err != nil {
+		return Result{}, err
+	}
+	sys.LoadImage(p.Image)
+	sys.CPU.PC = p.Entry
+	_, execErr := sys.Run(p.StepLimit)
+	res := Result{
+		Responses: make(map[uint16]uint8, len(p.ResponseCells)),
+		Halted:    sys.CPU.Halted(),
+		ExecErr:   execErr,
+	}
+	for _, c := range p.ResponseCells {
+		res.Responses[c] = sys.Peek(c)
+	}
+	return res, nil
+}
+
+// Detects runs the program on the golden and the defective control bus and
+// compares outcomes: a crashed or hung run, or any response mismatch,
+// counts as detection.
+func (p *Program) Detects(defective *crosstalk.Params, th crosstalk.Thresholds) (bool, error) {
+	golden, err := p.Run(nil, th)
+	if err != nil {
+		return false, err
+	}
+	if !golden.Halted || golden.ExecErr != nil {
+		return false, fmt.Errorf("ctrltest: golden run failed (halted=%v err=%v)",
+			golden.Halted, golden.ExecErr)
+	}
+	got, err := p.Run(defective, th)
+	if err != nil {
+		return false, err
+	}
+	if !got.Halted || got.ExecErr != nil {
+		return true, nil
+	}
+	for cell, v := range golden.Responses {
+		if got.Responses[cell] != v {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// OverTestAnalysis compares software-reachable testing against a test-mode
+// BIST that applies all 8 MA pairs: the glitch pairs it adds are
+// functionally impossible, so any defect detected only by them is yield
+// loss.
+type OverTestAnalysis struct {
+	TotalMAFs  int
+	Reachable  int
+	Observable int
+	BISTOnly   int // MAFs only a test-mode BIST can apply
+}
+
+// Analyze summarises the control-bus fault universe.
+func Analyze() OverTestAnalysis {
+	a := OverTestAnalysis{}
+	for _, f := range Universe() {
+		a.TotalMAFs++
+		if Reachable(f) {
+			a.Reachable++
+			if Observable(f) {
+				a.Observable++
+			}
+		} else {
+			a.BISTOnly++
+		}
+	}
+	return a
+}

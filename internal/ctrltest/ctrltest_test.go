@@ -1,0 +1,168 @@
+package ctrltest
+
+import (
+	"testing"
+
+	"repro/internal/crosstalk"
+	"repro/internal/maf"
+	"repro/internal/soc"
+)
+
+func setup(t *testing.T) (*crosstalk.Params, crosstalk.Thresholds) {
+	t.Helper()
+	nom := crosstalk.Nominal(soc.CtrlBits)
+	th, err := crosstalk.DeriveThresholds(nom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nom, th
+}
+
+// defectiveCtrl raises the single coupling of the 2-wire bus to factor*Cth.
+func defectiveCtrl(nom *crosstalk.Params, th crosstalk.Thresholds, factor float64) *crosstalk.Params {
+	p := nom.Clone()
+	c := factor * th.Cth
+	p.Cc[0][1] = c
+	p.Cc[1][0] = c
+	return p
+}
+
+func TestUniverseSize(t *testing.T) {
+	if got := len(Universe()); got != 8 {
+		t.Errorf("control-bus universe = %d MAFs, want 8 (2 wires x 4 kinds)", got)
+	}
+}
+
+// TestReachability: exactly the four delay faults are functionally
+// reachable; all glitch faults need idle or double-asserted commands.
+func TestReachability(t *testing.T) {
+	for _, f := range Universe() {
+		want := f.Kind.IsDelay()
+		if got := Reachable(f); got != want {
+			t.Errorf("Reachable(%v) = %v, want %v", f, got, want)
+		}
+	}
+}
+
+func TestObservability(t *testing.T) {
+	obs := 0
+	for _, f := range Universe() {
+		if Observable(f) {
+			obs++
+			if !Reachable(f) {
+				t.Errorf("%v observable but unreachable", f)
+			}
+		}
+	}
+	if obs != 3 {
+		t.Errorf("observable faults = %d, want 3 (df on the read strobe is contention-only)", obs)
+	}
+	if Observable(maf.Fault{Victim: WireRead, Kind: maf.FallingDelay, Width: soc.CtrlBits}) {
+		t.Error("late-falling read strobe during writes should be unobservable in this model")
+	}
+}
+
+func TestGoldenRun(t *testing.T) {
+	p, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, th := setup(t)
+	got, err := p.Run(nil, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Halted || got.ExecErr != nil {
+		t.Fatalf("golden run: halted=%v err=%v", got.Halted, got.ExecErr)
+	}
+	if got.Responses[resp1] != valueC {
+		t.Errorf("resp1 = %02x, want %02x", got.Responses[resp1], valueC)
+	}
+	if got.Responses[resp2] != valueB {
+		t.Errorf("resp2 = %02x, want %02x", got.Responses[resp2], valueB)
+	}
+	if len(p.Covered) != 3 {
+		t.Errorf("covered = %d faults", len(p.Covered))
+	}
+}
+
+func TestNominalControlBusClean(t *testing.T) {
+	p, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nom, th := setup(t)
+	det, err := p.Detects(nom, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det {
+		t.Error("nominal control bus flagged as defective")
+	}
+}
+
+// TestControlDefectDetected: a coupling defect on the control bus (which
+// excites every delay MAF — the two wires share their only coupling) is
+// caught by the self-test program.
+func TestControlDefectDetected(t *testing.T) {
+	p, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nom, th := setup(t)
+	for _, factor := range []float64{1.05, 1.5, 3.0} {
+		det, err := p.Detects(defectiveCtrl(nom, th, factor), th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !det {
+			t.Errorf("control defect at %.2f*Cth missed", factor)
+		}
+	}
+	// Sub-threshold stays clean.
+	det, err := p.Detects(defectiveCtrl(nom, th, 0.95), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if det {
+		t.Error("sub-threshold control coupling flagged")
+	}
+}
+
+// TestStoreLossMechanism: with a defective bus, the write→read sequencing
+// shows the specific corruptions the package documents — either the run
+// derails (a corrupted post-store fetch) or the responses differ.
+func TestStoreLossMechanism(t *testing.T) {
+	p, err := Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	nom, th := setup(t)
+	got, err := p.Run(defectiveCtrl(nom, th, 1.5), th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := got.Halted && got.ExecErr == nil &&
+		got.Responses[resp1] == valueC && got.Responses[resp2] == valueB
+	if clean {
+		t.Error("defective run indistinguishable from golden")
+	}
+}
+
+func TestAnalyze(t *testing.T) {
+	a := Analyze()
+	if a.TotalMAFs != 8 || a.Reachable != 4 || a.Observable != 3 || a.BISTOnly != 4 {
+		t.Errorf("analysis = %+v", a)
+	}
+}
+
+// TestBISTOverTestsControlBus: the test-mode patterns a BIST adds are
+// exactly the glitch pairs, which the functional mode cannot produce — any
+// rejection they alone cause is yield loss.
+func TestBISTOverTestsControlBus(t *testing.T) {
+	for _, f := range Universe() {
+		if f.Kind.IsGlitch() && Reachable(f) {
+			t.Errorf("glitch fault %v claims functional reachability", f)
+		}
+	}
+}

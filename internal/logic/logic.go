@@ -1,0 +1,269 @@
+// Package logic provides the low-level signal and bus-word types shared by
+// the interconnect, crosstalk, and processor models.
+//
+// A Bit is a four-valued logic level (0, 1, Z, X) following the usual HDL
+// convention. A Word is an N-bit vector of resolved levels carried on a bus;
+// words are value types with an explicit width so that an 8-bit data word and
+// a 12-bit address word cannot be confused.
+package logic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Bit is a four-valued logic level.
+type Bit uint8
+
+// The four logic levels. Zero value is L (logic 0) so that freshly allocated
+// signal storage reads as driven-low, matching power-on reset of the modelled
+// system.
+const (
+	L Bit = iota // logic 0
+	H            // logic 1
+	Z            // high impedance (undriven)
+	X            // unknown / conflict
+)
+
+// String returns the single-character HDL spelling of b.
+func (b Bit) String() string {
+	switch b {
+	case L:
+		return "0"
+	case H:
+		return "1"
+	case Z:
+		return "z"
+	default:
+		return "x"
+	}
+}
+
+// Valid reports whether b is one of the four defined levels.
+func (b Bit) Valid() bool { return b <= X }
+
+// Resolve combines two drivers of the same wire using standard tri-state
+// resolution: Z yields to any driver, equal drivers agree, and conflicting
+// strong drivers produce X.
+func Resolve(a, b Bit) Bit {
+	switch {
+	case a == Z:
+		return b
+	case b == Z:
+		return a
+	case a == b:
+		return a
+	default:
+		return X
+	}
+}
+
+// Word is an N-bit bus word. Bit i (LSB = wire 0) is stored in the i-th bit
+// of v. Width is the number of wires and must be in [1, 64].
+type Word struct {
+	v     uint64
+	width int
+}
+
+// NewWord returns a Word of the given width holding value v truncated to
+// width bits. It panics if width is outside [1, 64]; widths are structural
+// constants of the modelled hardware, so an invalid width is a programming
+// error rather than a runtime condition.
+func NewWord(v uint64, width int) Word {
+	if width < 1 || width > 64 {
+		panic(fmt.Sprintf("logic: invalid word width %d", width))
+	}
+	return Word{v: v & mask(width), width: width}
+}
+
+func mask(width int) uint64 {
+	if width == 64 {
+		return ^uint64(0)
+	}
+	return (1 << uint(width)) - 1
+}
+
+// Uint64 returns the word's value.
+func (w Word) Uint64() uint64 { return w.v }
+
+// Width returns the number of wires in the word.
+func (w Word) Width() int { return w.width }
+
+// Bit returns the level of wire i as 0 or 1. It panics if i is out of range.
+func (w Word) Bit(i int) uint {
+	w.check(i)
+	return uint(w.v>>uint(i)) & 1
+}
+
+// WithBit returns a copy of w with wire i set to level b (0 or 1).
+func (w Word) WithBit(i int, b uint) Word {
+	w.check(i)
+	if b&1 == 1 {
+		w.v |= 1 << uint(i)
+	} else {
+		w.v &^= 1 << uint(i)
+	}
+	return w
+}
+
+// FlipBit returns a copy of w with wire i inverted.
+func (w Word) FlipBit(i int) Word {
+	w.check(i)
+	w.v ^= 1 << uint(i)
+	return w
+}
+
+// Invert returns the bitwise complement of w within its width.
+func (w Word) Invert() Word {
+	w.v = ^w.v & mask(w.width)
+	return w
+}
+
+// Xor returns w XOR o. Both words must have the same width.
+func (w Word) Xor(o Word) Word {
+	w.checkWidth(o)
+	w.v ^= o.v
+	return w
+}
+
+// Equal reports whether w and o have identical width and value.
+func (w Word) Equal(o Word) bool { return w.width == o.width && w.v == o.v }
+
+// OnesCount returns the number of wires at logic 1.
+func (w Word) OnesCount() int {
+	n := 0
+	for v := w.v; v != 0; v &= v - 1 {
+		n++
+	}
+	return n
+}
+
+func (w Word) check(i int) {
+	if i < 0 || i >= w.width {
+		panic(fmt.Sprintf("logic: bit index %d out of range for %d-bit word", i, w.width))
+	}
+}
+
+func (w Word) checkWidth(o Word) {
+	if w.width != o.width {
+		panic(fmt.Sprintf("logic: width mismatch %d vs %d", w.width, o.width))
+	}
+}
+
+// String renders the word MSB-first as a binary string, e.g. "00010110".
+func (w Word) String() string {
+	var sb strings.Builder
+	for i := w.width - 1; i >= 0; i-- {
+		if w.Bit(i) == 1 {
+			sb.WriteByte('1')
+		} else {
+			sb.WriteByte('0')
+		}
+	}
+	return sb.String()
+}
+
+// PageOffsetString renders a 12-bit address word in the paper's
+// "page:offset" notation, e.g. "1111:11101111". For other widths it falls
+// back to the plain binary form.
+func (w Word) PageOffsetString() string {
+	if w.width != 12 {
+		return w.String()
+	}
+	s := w.String()
+	return s[:4] + ":" + s[4:]
+}
+
+// ParseWord parses a binary string (optionally containing a single ':'
+// page/offset separator and '_' grouping underscores) into a Word whose
+// width equals the number of binary digits.
+func ParseWord(s string) (Word, error) {
+	var v uint64
+	width := 0
+	for _, r := range s {
+		switch r {
+		case '0', '1':
+			if width == 64 {
+				return Word{}, fmt.Errorf("logic: word literal %q longer than 64 bits", s)
+			}
+			v = v<<1 | uint64(r-'0')
+			width++
+		case ':', '_':
+			// grouping only
+		default:
+			return Word{}, fmt.Errorf("logic: invalid character %q in word literal %q", r, s)
+		}
+	}
+	if width == 0 {
+		return Word{}, fmt.Errorf("logic: empty word literal %q", s)
+	}
+	return Word{v: v, width: width}, nil
+}
+
+// MustParseWord is ParseWord for compile-time-constant literals; it panics on
+// malformed input.
+func MustParseWord(s string) Word {
+	w, err := ParseWord(s)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Transition describes one wire's movement between two consecutive words.
+type Transition int8
+
+// Wire transition kinds between vector v1 and vector v2.
+const (
+	Stable0 Transition = iota // 0 -> 0
+	Stable1                   // 1 -> 1
+	Rising                    // 0 -> 1
+	Falling                   // 1 -> 0
+)
+
+// String returns a compact spelling of t.
+func (t Transition) String() string {
+	switch t {
+	case Stable0:
+		return "s0"
+	case Stable1:
+		return "s1"
+	case Rising:
+		return "r"
+	case Falling:
+		return "f"
+	default:
+		return fmt.Sprintf("Transition(%d)", int8(t))
+	}
+}
+
+// IsEdge reports whether t is a signal transition rather than a stable level.
+func (t Transition) IsEdge() bool { return t == Rising || t == Falling }
+
+// TransitionOf classifies the movement of wire i between v1 and v2.
+func TransitionOf(v1, v2 Word, i int) Transition {
+	a, b := v1.Bit(i), v2.Bit(i)
+	switch {
+	case a == 0 && b == 0:
+		return Stable0
+	case a == 1 && b == 1:
+		return Stable1
+	case a == 0 && b == 1:
+		return Rising
+	default:
+		return Falling
+	}
+}
+
+// Transitions classifies every wire's movement between v1 and v2. The two
+// words must share a width.
+func Transitions(v1, v2 Word) []Transition {
+	if v1.width != v2.width {
+		panic(fmt.Sprintf("logic: transition width mismatch %d vs %d", v1.width, v2.width))
+	}
+	ts := make([]Transition, v1.width)
+	for i := range ts {
+		ts[i] = TransitionOf(v1, v2, i)
+	}
+	return ts
+}

@@ -1,0 +1,297 @@
+package logic
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitString(t *testing.T) {
+	cases := []struct {
+		b    Bit
+		want string
+	}{{L, "0"}, {H, "1"}, {Z, "z"}, {X, "x"}}
+	for _, c := range cases {
+		if got := c.b.String(); got != c.want {
+			t.Errorf("Bit(%d).String() = %q, want %q", c.b, got, c.want)
+		}
+	}
+}
+
+func TestBitValid(t *testing.T) {
+	for b := Bit(0); b <= X; b++ {
+		if !b.Valid() {
+			t.Errorf("Bit(%d).Valid() = false, want true", b)
+		}
+	}
+	if Bit(42).Valid() {
+		t.Error("Bit(42).Valid() = true, want false")
+	}
+}
+
+func TestResolve(t *testing.T) {
+	cases := []struct {
+		a, b, want Bit
+	}{
+		{Z, Z, Z},
+		{Z, L, L},
+		{Z, H, H},
+		{L, Z, L},
+		{H, Z, H},
+		{L, L, L},
+		{H, H, H},
+		{L, H, X},
+		{H, L, X},
+		{X, Z, X},
+		{X, H, X},
+	}
+	for _, c := range cases {
+		if got := Resolve(c.a, c.b); got != c.want {
+			t.Errorf("Resolve(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestResolveCommutative(t *testing.T) {
+	levels := []Bit{L, H, Z, X}
+	for _, a := range levels {
+		for _, b := range levels {
+			if Resolve(a, b) != Resolve(b, a) {
+				t.Errorf("Resolve(%v,%v) != Resolve(%v,%v)", a, b, b, a)
+			}
+		}
+	}
+}
+
+func TestNewWordTruncates(t *testing.T) {
+	w := NewWord(0x1FF, 8)
+	if w.Uint64() != 0xFF {
+		t.Errorf("NewWord(0x1FF, 8) = %#x, want 0xFF", w.Uint64())
+	}
+	if w.Width() != 8 {
+		t.Errorf("width = %d, want 8", w.Width())
+	}
+}
+
+func TestNewWordFullWidth(t *testing.T) {
+	w := NewWord(^uint64(0), 64)
+	if w.Uint64() != ^uint64(0) {
+		t.Errorf("64-bit word lost bits: %#x", w.Uint64())
+	}
+}
+
+func TestNewWordPanicsOnBadWidth(t *testing.T) {
+	for _, width := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewWord(0, %d) did not panic", width)
+				}
+			}()
+			NewWord(0, width)
+		}()
+	}
+}
+
+func TestBitAccess(t *testing.T) {
+	w := NewWord(0b1010, 4)
+	want := []uint{0, 1, 0, 1}
+	for i, b := range want {
+		if got := w.Bit(i); got != b {
+			t.Errorf("bit %d = %d, want %d", i, got, b)
+		}
+	}
+}
+
+func TestWithBitAndFlipBit(t *testing.T) {
+	w := NewWord(0, 8)
+	w = w.WithBit(3, 1)
+	if w.Uint64() != 0b1000 {
+		t.Fatalf("WithBit(3,1) = %#b", w.Uint64())
+	}
+	w = w.WithBit(3, 0)
+	if w.Uint64() != 0 {
+		t.Fatalf("WithBit(3,0) = %#b", w.Uint64())
+	}
+	w = w.FlipBit(7)
+	if w.Uint64() != 0x80 {
+		t.Fatalf("FlipBit(7) = %#x", w.Uint64())
+	}
+}
+
+func TestInvert(t *testing.T) {
+	w := NewWord(0b0101, 4).Invert()
+	if w.Uint64() != 0b1010 {
+		t.Errorf("Invert = %#b, want 1010", w.Uint64())
+	}
+}
+
+func TestXorAndEqual(t *testing.T) {
+	a := NewWord(0xF0, 8)
+	b := NewWord(0x0F, 8)
+	if got := a.Xor(b); got.Uint64() != 0xFF {
+		t.Errorf("Xor = %#x, want 0xFF", got.Uint64())
+	}
+	if !a.Equal(NewWord(0xF0, 8)) {
+		t.Error("Equal words reported unequal")
+	}
+	if a.Equal(NewWord(0xF0, 12)) {
+		t.Error("words with different widths reported equal")
+	}
+}
+
+func TestOnesCount(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{{0, 0}, {1, 1}, {0xFF, 8}, {0b1011, 3}}
+	for _, c := range cases {
+		if got := NewWord(c.v, 12).OnesCount(); got != c.want {
+			t.Errorf("OnesCount(%#b) = %d, want %d", c.v, got, c.want)
+		}
+	}
+}
+
+func TestWordString(t *testing.T) {
+	if got := NewWord(0b00010110, 8).String(); got != "00010110" {
+		t.Errorf("String = %q", got)
+	}
+	if got := NewWord(0xFEF, 12).PageOffsetString(); got != "1111:11101111" {
+		t.Errorf("PageOffsetString = %q", got)
+	}
+	// Non-12-bit widths fall back to the plain form.
+	if got := NewWord(0b101, 3).PageOffsetString(); got != "101" {
+		t.Errorf("PageOffsetString(3-bit) = %q", got)
+	}
+}
+
+func TestParseWord(t *testing.T) {
+	cases := []struct {
+		in    string
+		v     uint64
+		width int
+	}{
+		{"0", 0, 1},
+		{"1011", 0b1011, 4},
+		{"1111:11101111", 0xFEF, 12},
+		{"0000_0001", 1, 8},
+	}
+	for _, c := range cases {
+		w, err := ParseWord(c.in)
+		if err != nil {
+			t.Errorf("ParseWord(%q): %v", c.in, err)
+			continue
+		}
+		if w.Uint64() != c.v || w.Width() != c.width {
+			t.Errorf("ParseWord(%q) = %v/%d, want %#b/%d", c.in, w.Uint64(), w.Width(), c.v, c.width)
+		}
+	}
+}
+
+func TestParseWordErrors(t *testing.T) {
+	for _, in := range []string{"", ":", "012", "abc", "10 1"} {
+		if _, err := ParseWord(in); err == nil {
+			t.Errorf("ParseWord(%q) succeeded, want error", in)
+		}
+	}
+}
+
+func TestParseWordRoundTrip(t *testing.T) {
+	f := func(v uint64) bool {
+		w := NewWord(v, 16)
+		got, err := ParseWord(w.String())
+		return err == nil && got.Equal(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMustParseWordPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParseWord on bad input did not panic")
+		}
+	}()
+	MustParseWord("2")
+}
+
+func TestTransitionOf(t *testing.T) {
+	v1 := MustParseWord("0101")
+	v2 := MustParseWord("0011")
+	// wire 0 (LSB): 1->1 stable1; wire 1: 0->1 rising; wire 2: 1->0 falling;
+	// wire 3: 0->0 stable0.
+	want := []Transition{Stable1, Rising, Falling, Stable0}
+	for i, tr := range want {
+		if got := TransitionOf(v1, v2, i); got != tr {
+			t.Errorf("wire %d: transition = %v, want %v", i, got, tr)
+		}
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	ts := Transitions(MustParseWord("00"), MustParseWord("11"))
+	if len(ts) != 2 || ts[0] != Rising || ts[1] != Rising {
+		t.Errorf("Transitions = %v", ts)
+	}
+}
+
+func TestTransitionsWidthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch did not panic")
+		}
+	}()
+	Transitions(NewWord(0, 8), NewWord(0, 12))
+}
+
+func TestTransitionString(t *testing.T) {
+	cases := map[Transition]string{Stable0: "s0", Stable1: "s1", Rising: "r", Falling: "f"}
+	for tr, want := range cases {
+		if got := tr.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", tr, got, want)
+		}
+	}
+	if got := Transition(9).String(); got != "Transition(9)" {
+		t.Errorf("invalid transition String = %q", got)
+	}
+}
+
+func TestIsEdge(t *testing.T) {
+	if Stable0.IsEdge() || Stable1.IsEdge() {
+		t.Error("stable levels reported as edges")
+	}
+	if !Rising.IsEdge() || !Falling.IsEdge() {
+		t.Error("edges not reported as edges")
+	}
+}
+
+// Property: XOR of v1 and v2 has a 1 exactly on the wires whose transition is
+// an edge.
+func TestEdgeXorProperty(t *testing.T) {
+	f := func(a, b uint16) bool {
+		v1 := NewWord(uint64(a), 16)
+		v2 := NewWord(uint64(b), 16)
+		x := v1.Xor(v2)
+		for i, tr := range Transitions(v1, v2) {
+			if (x.Bit(i) == 1) != tr.IsEdge() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: FlipBit twice is the identity.
+func TestFlipBitInvolution(t *testing.T) {
+	f := func(v uint16, i uint8) bool {
+		idx := int(i) % 16
+		w := NewWord(uint64(v), 16)
+		return w.FlipBit(idx).FlipBit(idx).Equal(w)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,270 @@
+package maf
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/logic"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		PositiveGlitch: "gp", NegativeGlitch: "gn",
+		RisingDelay: "dr", FallingDelay: "df",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := Kind(9).String(); got != "Kind(9)" {
+		t.Errorf("invalid kind String = %q", got)
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !PositiveGlitch.IsGlitch() || !NegativeGlitch.IsGlitch() {
+		t.Error("glitch kinds not classified as glitches")
+	}
+	if !RisingDelay.IsDelay() || !FallingDelay.IsDelay() {
+		t.Error("delay kinds not classified as delays")
+	}
+	if PositiveGlitch.IsDelay() || RisingDelay.IsGlitch() {
+		t.Error("kind predicates overlap")
+	}
+}
+
+func TestDirectionString(t *testing.T) {
+	if Forward.String() != "fwd" || Reverse.String() != "rev" {
+		t.Error("direction names wrong")
+	}
+	if got := Direction(7).String(); got != "Direction(7)" {
+		t.Errorf("invalid direction String = %q", got)
+	}
+}
+
+// TestVectorsPaperExamples pins the vector pairs quoted in the paper.
+func TestVectorsPaperExamples(t *testing.T) {
+	// §4.1: (00000000, 11110111) is a positive-glitch test; the quoted
+	// pattern has victim bit 3 (line 4, counting lines from 1) stable 0.
+	v1, v2 := Vectors(PositiveGlitch, 3, 8)
+	if v1.String() != "00000000" || v2.String() != "11110111" {
+		t.Errorf("gp[3] 8-bit = (%s, %s)", v1, v2)
+	}
+
+	// §4.2.1: (0000:00010000, 1111:11101111) is a falling-delay test on
+	// address bit 4 of the 12-bit bus.
+	v1, v2 = Vectors(FallingDelay, 4, 12)
+	if v1.PageOffsetString() != "0000:00010000" || v2.PageOffsetString() != "1111:11101111" {
+		t.Errorf("df[4] 12-bit = (%s, %s)", v1.PageOffsetString(), v2.PageOffsetString())
+	}
+
+	// §4.2.2: (0000:00000000, 1111:11111110) tests the positive glitch on
+	// bus line 1 (bit 0).
+	v1, v2 = Vectors(PositiveGlitch, 0, 12)
+	if v1.Uint64() != 0 || v2.Uint64() != 0xFFE {
+		t.Errorf("gp[0] 12-bit = (%s, %s)", v1, v2)
+	}
+
+	// §4.3 / Fig. 8: (01111111, 10000000) is the rising-delay test for data
+	// bus line 8 (bit 7); v2 is one-hot.
+	v1, v2 = Vectors(RisingDelay, 7, 8)
+	if v1.Uint64() != 0x7F || v2.Uint64() != 0x80 {
+		t.Errorf("dr[7] 8-bit = (%s, %s)", v1, v2)
+	}
+}
+
+// TestVectorsFig1 checks every kind's victim/aggressor pattern per Fig. 1.
+func TestVectorsFig1(t *testing.T) {
+	const width = 12
+	for _, k := range Kinds {
+		for v := 0; v < width; v++ {
+			v1, v2 := Vectors(k, v, width)
+			ts := logic.Transitions(v1, v2)
+			for i, tr := range ts {
+				var want logic.Transition
+				if i == v {
+					switch k {
+					case PositiveGlitch:
+						want = logic.Stable0
+					case NegativeGlitch:
+						want = logic.Stable1
+					case RisingDelay:
+						want = logic.Rising
+					case FallingDelay:
+						want = logic.Falling
+					}
+				} else {
+					switch k {
+					case PositiveGlitch, FallingDelay:
+						want = logic.Rising
+					case NegativeGlitch, RisingDelay:
+						want = logic.Falling
+					}
+				}
+				if tr != want {
+					t.Fatalf("%s victim %d wire %d: transition %v, want %v", k, v, i, tr, want)
+				}
+			}
+		}
+	}
+}
+
+func TestVectorsPanics(t *testing.T) {
+	for _, c := range []struct{ v, w int }{{-1, 8}, {8, 8}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Vectors(gp, %d, %d) did not panic", c.v, c.w)
+				}
+			}()
+			Vectors(PositiveGlitch, c.v, c.w)
+		}()
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Vectors with invalid kind did not panic")
+			}
+		}()
+		Vectors(Kind(99), 0, 8)
+	}()
+}
+
+// TestUniverseSizes pins the paper's fault counts: 64 MAFs on the 8-bit
+// bidirectional data bus, 48 on the 12-bit unidirectional address bus.
+func TestUniverseSizes(t *testing.T) {
+	if got := len(Universe(8, true)); got != 64 {
+		t.Errorf("data-bus universe = %d faults, want 64", got)
+	}
+	if got := len(Universe(12, false)); got != 48 {
+		t.Errorf("address-bus universe = %d faults, want 48", got)
+	}
+}
+
+func TestUniverseUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, f := range Universe(8, true) {
+		s := f.String()
+		if seen[s] {
+			t.Errorf("duplicate fault %s", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestUniverseOrdering(t *testing.T) {
+	u := Universe(4, true)
+	// Forward faults first.
+	for i, f := range u {
+		wantDir := Forward
+		if i >= len(u)/2 {
+			wantDir = Reverse
+		}
+		if f.Dir != wantDir {
+			t.Fatalf("fault %d direction %v, want %v", i, f.Dir, wantDir)
+		}
+	}
+	// Within a direction: kinds in Fig. 1 order, victims ascending.
+	if u[0].Kind != PositiveGlitch || u[0].Victim != 0 {
+		t.Errorf("first fault = %v", u[0])
+	}
+	if u[4].Kind != NegativeGlitch || u[4].Victim != 0 {
+		t.Errorf("fifth fault = %v", u[4])
+	}
+}
+
+func TestTestsMatchUniverse(t *testing.T) {
+	faults := Universe(12, false)
+	tests := Tests(12, false)
+	if len(tests) != len(faults) {
+		t.Fatalf("len(tests) = %d, want %d", len(tests), len(faults))
+	}
+	for i := range tests {
+		if tests[i].Fault != faults[i] {
+			t.Errorf("test %d fault %v, want %v", i, tests[i].Fault, faults[i])
+		}
+	}
+}
+
+// Property: every MA test's vector pair is unique across the universe.
+func TestMATestsUnique(t *testing.T) {
+	seen := make(map[[2]uint64]Fault)
+	for _, mt := range Tests(12, false) {
+		key := [2]uint64{mt.V1.Uint64(), mt.V2.Uint64()}
+		if prev, ok := seen[key]; ok {
+			t.Errorf("tests %v and %v share vector pair (%s,%s)", prev, mt.Fault, mt.V1, mt.V2)
+		}
+		seen[key] = mt.Fault
+	}
+}
+
+// Property: in every MA pair all aggressors transition (v1 XOR v2 is all
+// ones except possibly the victim bit, which matches the kind).
+func TestMAPairStructureProperty(t *testing.T) {
+	f := func(kindSel, victimSel uint8) bool {
+		k := Kinds[int(kindSel)%4]
+		v := int(victimSel) % 12
+		v1, v2 := Vectors(k, v, 12)
+		x := v1.Xor(v2)
+		for i := 0; i < 12; i++ {
+			if i == v {
+				if k.IsGlitch() && x.Bit(i) != 0 {
+					return false
+				}
+				if k.IsDelay() && x.Bit(i) != 1 {
+					return false
+				}
+			} else if x.Bit(i) != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	for _, mt := range Tests(8, false) {
+		got, ok := Classify(mt.V1, mt.V2)
+		if !ok {
+			t.Errorf("Classify failed to recognise %v", mt)
+			continue
+		}
+		if got != mt.Fault {
+			t.Errorf("Classify(%s,%s) = %v, want %v", mt.V1, mt.V2, got, mt.Fault)
+		}
+	}
+	// Non-MA traffic is rejected.
+	if _, ok := Classify(logic.NewWord(0x12, 8), logic.NewWord(0x34, 8)); ok {
+		t.Error("Classify accepted non-MA pair")
+	}
+	// Width mismatch is rejected.
+	if _, ok := Classify(logic.NewWord(0, 8), logic.NewWord(0, 12)); ok {
+		t.Error("Classify accepted width mismatch")
+	}
+}
+
+func TestExcites(t *testing.T) {
+	f := Fault{Victim: 2, Kind: RisingDelay, Dir: Forward, Width: 8}
+	mt := TestFor(f)
+	if !Excites(f, mt.V1, mt.V2) {
+		t.Error("fault not excited by its own MA test")
+	}
+	if Excites(f, mt.V2, mt.V1) {
+		t.Error("fault excited by reversed pair")
+	}
+}
+
+func TestFaultString(t *testing.T) {
+	f := Fault{Victim: 4, Kind: PositiveGlitch, Dir: Reverse, Width: 8}
+	if got := f.String(); got != "gp[4]/rev" {
+		t.Errorf("Fault.String() = %q", got)
+	}
+	mt := TestFor(Fault{Victim: 0, Kind: NegativeGlitch, Dir: Forward, Width: 4})
+	if got := mt.String(); got != "gn[0]/fwd:(1111,0001)" {
+		t.Errorf("Test.String() = %q", got)
+	}
+}

@@ -1,0 +1,93 @@
+package memory
+
+import "testing"
+
+func TestRAMReadWrite(t *testing.T) {
+	r := NewRAM(256)
+	r.Write(10, 0xAB)
+	if got := r.Read(10); got != 0xAB {
+		t.Errorf("Read(10) = %02x", got)
+	}
+	if got := r.Read(11); got != 0 {
+		t.Errorf("fresh cell = %02x", got)
+	}
+	if r.Size() != 256 {
+		t.Errorf("Size = %d", r.Size())
+	}
+}
+
+func TestRAMOutOfRange(t *testing.T) {
+	r := NewRAM(16)
+	r.Write(100, 0xFF) // silently ignored
+	if got := r.Read(100); got != 0 {
+		t.Errorf("out-of-range read = %02x", got)
+	}
+}
+
+func TestRAMPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRAM(0) did not panic")
+		}
+	}()
+	NewRAM(0)
+}
+
+func TestRAMLoadAndSnapshot(t *testing.T) {
+	r := NewRAM(4)
+	r.Load([]byte{1, 2, 3, 4, 5, 6}) // truncated to size
+	snap := r.Snapshot()
+	if len(snap) != 4 || snap[3] != 4 {
+		t.Errorf("snapshot = %v", snap)
+	}
+	snap[0] = 99
+	if r.Read(0) != 1 {
+		t.Error("Snapshot aliases RAM")
+	}
+}
+
+func TestRegisterFile(t *testing.T) {
+	rf := NewRegisterFile(4)
+	rf.Write(2, 0x55)
+	if got := rf.Read(2); got != 0x55 {
+		t.Errorf("Read(2) = %02x", got)
+	}
+	if rf.ReadCount != 1 || rf.WriteCount != 1 {
+		t.Errorf("counts = %d/%d", rf.ReadCount, rf.WriteCount)
+	}
+	if rf.Size() != 4 {
+		t.Errorf("Size = %d", rf.Size())
+	}
+}
+
+func TestRegisterFileAliasing(t *testing.T) {
+	rf := NewRegisterFile(4)
+	rf.Write(6, 0x77) // aliases register 2
+	if got := rf.Peek(2); got != 0x77 {
+		t.Errorf("aliased write: reg2 = %02x", got)
+	}
+	if got := rf.Read(10); got != 0x77 { // also aliases register 2
+		t.Errorf("aliased read = %02x", got)
+	}
+}
+
+func TestRegisterFilePokePeek(t *testing.T) {
+	rf := NewRegisterFile(2)
+	rf.Poke(1, 0x42)
+	if rf.Peek(1) != 0x42 {
+		t.Error("Poke/Peek failed")
+	}
+	// Poke/Peek bypass the counters.
+	if rf.ReadCount != 0 || rf.WriteCount != 0 {
+		t.Error("Poke/Peek touched bus counters")
+	}
+}
+
+func TestRegisterFilePanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewRegisterFile(0) did not panic")
+		}
+	}()
+	NewRegisterFile(0)
+}

@@ -1,0 +1,234 @@
+package parwan
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Assembler syntax
+//
+//	; comment                      everything after ';' is ignored
+//	.org 1:00                      set location counter (page:offset, 0x.., or decimal)
+//	.byte 0x12, 3, 0b1010, label   emit raw bytes (label emits its low byte)
+//	loop:                          define a label at the current location
+//	    lda 2:34                   full-address instruction, page:offset operand
+//	    sta result                 operand may be a label
+//	    bra_z loop                 branch takes the in-page offset of its target
+//	    cla                        non-address instruction
+//
+// Numbers: "p:oo" hexadecimal page:offset, 0x hexadecimal, 0b binary,
+// otherwise decimal.
+
+// AsmError is an assembly diagnostic with a source line number.
+type AsmError struct {
+	Line int
+	Msg  string
+}
+
+// Error implements the error interface.
+func (e *AsmError) Error() string { return fmt.Sprintf("parwan asm: line %d: %s", e.Line, e.Msg) }
+
+type asmStatement struct {
+	line    int
+	addr    uint16
+	op      Op
+	operand string // unresolved label or number, empty for non-address ops
+	raw     []string
+	isByte  bool
+}
+
+// Assemble assembles source into a memory image, returning the image and the
+// resolved label table.
+func Assemble(r io.Reader) (*Image, map[string]uint16, error) {
+	labels := make(map[string]uint16)
+	var stmts []asmStatement
+	var loc uint16
+
+	// Pass 1: layout and label collection.
+	scanner := bufio.NewScanner(r)
+	lineNo := 0
+	for scanner.Scan() {
+		lineNo++
+		line := scanner.Text()
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		// Leading labels (possibly several).
+		for {
+			i := strings.IndexByte(line, ':')
+			// A ':' inside a page:offset operand follows a hex digit run that
+			// is preceded by whitespace or start-of-token; a label's ':'
+			// terminates the first whitespace-free token. Treat the token
+			// before the first space as a label only if it ends in ':'.
+			fields := strings.Fields(line)
+			if len(fields) == 0 || !strings.HasSuffix(fields[0], ":") || i != len(fields[0])-1 {
+				break
+			}
+			name := strings.TrimSuffix(fields[0], ":")
+			if name == "" || !isIdent(name) {
+				return nil, nil, &AsmError{lineNo, fmt.Sprintf("invalid label %q", fields[0])}
+			}
+			if _, dup := labels[name]; dup {
+				return nil, nil, &AsmError{lineNo, fmt.Sprintf("duplicate label %q", name)}
+			}
+			labels[name] = loc
+			line = strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+			if line == "" {
+				break
+			}
+		}
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		mnemonic := strings.ToLower(fields[0])
+		switch mnemonic {
+		case ".org":
+			if len(fields) != 2 {
+				return nil, nil, &AsmError{lineNo, ".org takes one operand"}
+			}
+			v, err := parseNumber(fields[1])
+			if err != nil {
+				return nil, nil, &AsmError{lineNo, err.Error()}
+			}
+			if v >= MemSize {
+				return nil, nil, &AsmError{lineNo, fmt.Sprintf(".org %#x outside memory", v)}
+			}
+			loc = v
+		case ".byte":
+			rest := strings.TrimSpace(strings.TrimPrefix(line, fields[0]))
+			if rest == "" {
+				return nil, nil, &AsmError{lineNo, ".byte takes at least one operand"}
+			}
+			parts := splitOperands(rest)
+			stmts = append(stmts, asmStatement{line: lineNo, addr: loc, raw: parts, isByte: true})
+			loc += uint16(len(parts))
+		default:
+			op, ok := OpByName(mnemonic)
+			if !ok {
+				return nil, nil, &AsmError{lineNo, fmt.Sprintf("unknown mnemonic %q", mnemonic)}
+			}
+			st := asmStatement{line: lineNo, addr: loc, op: op}
+			needsOperand := op.IsFullAddress() || op.IsBranch()
+			if needsOperand {
+				if len(fields) != 2 {
+					return nil, nil, &AsmError{lineNo, fmt.Sprintf("%s takes one operand", op)}
+				}
+				st.operand = fields[1]
+			} else if len(fields) != 1 {
+				return nil, nil, &AsmError{lineNo, fmt.Sprintf("%s takes no operand", op)}
+			}
+			stmts = append(stmts, st)
+			loc += uint16(op.Size())
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, nil, err
+	}
+
+	// Pass 2: resolve and emit.
+	im := NewImage()
+	for _, st := range stmts {
+		if st.isByte {
+			for i, tok := range st.raw {
+				v, err := resolveValue(tok, labels)
+				if err != nil {
+					return nil, nil, &AsmError{st.line, err.Error()}
+				}
+				if v > 0xFF {
+					v &= 0xFF // labels emit their low byte
+				}
+				if err := im.Set(st.addr+uint16(i), byte(v)); err != nil {
+					return nil, nil, &AsmError{st.line, err.Error()}
+				}
+			}
+			continue
+		}
+		in := Instruction{Op: st.op}
+		if st.operand != "" {
+			v, err := resolveValue(st.operand, labels)
+			if err != nil {
+				return nil, nil, &AsmError{st.line, err.Error()}
+			}
+			if st.op.IsBranch() {
+				// Branches address within the current page; a full address
+				// operand is accepted if its page matches.
+				if v > 0xFF && v>>8 != st.addr>>8 {
+					return nil, nil, &AsmError{st.line,
+						fmt.Sprintf("branch target %03x not in page %x", v, st.addr>>8)}
+				}
+				v &= 0xFF
+			}
+			in.Target = v
+		}
+		if _, err := im.SetInstruction(st.addr, in); err != nil {
+			return nil, nil, &AsmError{st.line, err.Error()}
+		}
+	}
+	return im, labels, nil
+}
+
+// AssembleString assembles src (see Assemble).
+func AssembleString(src string) (*Image, map[string]uint16, error) {
+	return Assemble(strings.NewReader(src))
+}
+
+func isIdent(s string) bool {
+	for i, r := range s {
+		switch {
+		case r == '_', r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z':
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return s != ""
+}
+
+func splitOperands(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+// parseNumber parses "p:oo" hex page:offset, 0x hex, 0b binary, or decimal.
+func parseNumber(s string) (uint16, error) {
+	if i := strings.IndexByte(s, ':'); i >= 0 {
+		page, err := strconv.ParseUint(s[:i], 16, 8)
+		if err != nil || page >= PageCount {
+			return 0, fmt.Errorf("invalid page in %q", s)
+		}
+		off, err := strconv.ParseUint(s[i+1:], 16, 8)
+		if err != nil {
+			return 0, fmt.Errorf("invalid offset in %q", s)
+		}
+		return uint16(page)<<8 | uint16(off), nil
+	}
+	v, err := strconv.ParseUint(s, 0, 16)
+	if err != nil {
+		return 0, fmt.Errorf("invalid number %q", s)
+	}
+	return uint16(v), nil
+}
+
+func resolveValue(tok string, labels map[string]uint16) (uint16, error) {
+	if v, ok := labels[tok]; ok {
+		return v, nil
+	}
+	if isIdent(tok) && !strings.HasPrefix(tok, "0") {
+		return 0, fmt.Errorf("undefined label %q", tok)
+	}
+	return parseNumber(tok)
+}

@@ -1,0 +1,270 @@
+package parwan
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAssembleBasic(t *testing.T) {
+	im, labels, err := AssembleString(`
+		; a tiny program
+		lda 1:00
+		sta 2:34
+	halt:	jmp halt
+		.org 1:00
+	data:	.byte 0x5A
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Get(0) != 0x01 || im.Get(1) != 0x00 {
+		t.Errorf("lda encoded as %02x %02x", im.Get(0), im.Get(1))
+	}
+	if im.Get(2) != 0xA2 || im.Get(3) != 0x34 {
+		t.Errorf("sta encoded as %02x %02x", im.Get(2), im.Get(3))
+	}
+	if labels["halt"] != 4 || labels["data"] != 0x100 {
+		t.Errorf("labels = %v", labels)
+	}
+	if im.Get(0x100) != 0x5A {
+		t.Error(".byte not emitted")
+	}
+}
+
+func TestAssembleLabelOperand(t *testing.T) {
+	im, _, err := AssembleString(`
+		lda value
+	halt:	jmp halt
+		.org 3:10
+	value:	.byte 7
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, _, err := Decode([]byte{im.Get(0), im.Get(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Op != LDA || in.Target != 0x310 {
+		t.Errorf("decoded %v", in)
+	}
+}
+
+func TestAssembleBranchTakesLowByte(t *testing.T) {
+	im, _, err := AssembleString(`
+		.org 2:00
+	loop:	cma
+		bra_n loop
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Get(0x201) != 0xF1 || im.Get(0x202) != 0x00 {
+		t.Errorf("branch bytes %02x %02x", im.Get(0x201), im.Get(0x202))
+	}
+}
+
+func TestAssembleBranchCrossPageRejected(t *testing.T) {
+	_, _, err := AssembleString(`
+		.org 2:00
+		bra_z target
+		.org 3:00
+	target:	nop
+	`)
+	if err == nil {
+		t.Error("cross-page branch accepted")
+	}
+}
+
+func TestAssembleNumberFormats(t *testing.T) {
+	im, _, err := AssembleString(`
+		.org 0x20
+		.byte 0x10, 16, 0b10000
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := uint16(0); i < 3; i++ {
+		if im.Get(0x20+i) != 0x10 {
+			t.Errorf("byte %d = %02x, want 10", i, im.Get(0x20+i))
+		}
+	}
+}
+
+func TestAssembleByteWithLabel(t *testing.T) {
+	im, _, err := AssembleString(`
+		.org 1:00
+	here:	.byte here
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if im.Get(0x100) != 0x00 { // low byte of 0x100
+		t.Errorf("label byte = %02x", im.Get(0x100))
+	}
+}
+
+func TestAssembleMultipleLabelsSameLine(t *testing.T) {
+	_, labels, err := AssembleString(`
+	a: b: nop
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if labels["a"] != 0 || labels["b"] != 0 {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"unknown mnemonic", "frob 1:00"},
+		{"missing operand", "lda"},
+		{"extra operand", "nop 3"},
+		{"bad org", ".org zz"},
+		{"org out of range", ".org 0x1000"},
+		{"empty byte", ".byte"},
+		{"duplicate label", "x: nop\nx: nop"},
+		{"undefined label", "jmp nowhere"},
+		{"bad label", "9bad: nop"},
+		{"overlap", "nop\n.org 0\ncla"},
+		{"org takes one", ".org 1 2"},
+		{"bad page", "lda 1f:00"},
+		{"bad number", ".byte 0xGG"},
+	}
+	for _, c := range cases {
+		if _, _, err := AssembleString(c.src); err == nil {
+			t.Errorf("%s: assembled without error", c.name)
+		} else if _, ok := err.(*AsmError); !ok {
+			t.Errorf("%s: error type %T, want *AsmError", c.name, err)
+		}
+	}
+}
+
+func TestAsmErrorMessage(t *testing.T) {
+	_, _, err := AssembleString("nop\nfrob")
+	ae, ok := err.(*AsmError)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if ae.Line != 2 || !strings.Contains(ae.Error(), "line 2") {
+		t.Errorf("error = %v", ae)
+	}
+}
+
+func TestAssembleAllMnemonics(t *testing.T) {
+	src := `
+		lda 1:00
+		and 1:00
+		add 1:00
+		sub 1:00
+		jmp 1:00
+		sta 1:00
+		jsr 1:00
+		lda_i 1:00
+		and_i 1:00
+		add_i 1:00
+		sub_i 1:00
+		jmp_i 1:00
+		sta_i 1:00
+		bra_v 10
+		bra_c 10
+		bra_z 10
+		bra_n 10
+		nop
+		cla
+		cma
+		cmc
+		asl
+		asr
+	`
+	im, _, err := AssembleString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 13 two-byte + 4 two-byte branches + 6 one-byte = 40 bytes.
+	if got := im.UsedCount(); got != 40 {
+		t.Errorf("program size %d bytes, want 40", got)
+	}
+}
+
+func TestDisassembleRoundTrip(t *testing.T) {
+	src := `
+		lda 1:23
+		sta_i 2:34
+		bra_z 10
+		cla
+	halt:	jmp halt
+	`
+	im, _, err := AssembleString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run []byte
+	for _, a := range im.UsedAddrs() {
+		run = append(run, im.Get(a))
+	}
+	lines := Disassemble(0, run)
+	// "bra_z 10" parses its operand as decimal 10 = 0x0a; the disassembler
+	// prints hex.
+	wantTexts := []string{"lda 1:23", "sta_i 2:34", "bra_z 0a", "cla", "jmp 0:07"}
+	if len(lines) != len(wantTexts) {
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	for i, w := range wantTexts {
+		if lines[i].Text != w {
+			t.Errorf("line %d = %q, want %q", i, lines[i].Text, w)
+		}
+	}
+}
+
+func TestDisassembleIllegalByte(t *testing.T) {
+	lines := Disassemble(0x100, []byte{0xE3, 0xE0})
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0].Text != ".byte 0xe3" {
+		t.Errorf("illegal byte rendered as %q", lines[0].Text)
+	}
+	if lines[1].Text != "nop" {
+		t.Errorf("recovery failed: %q", lines[1].Text)
+	}
+}
+
+func TestDisassembleTruncatedTail(t *testing.T) {
+	// A lone full-address first byte at the end of the run.
+	lines := Disassemble(0, []byte{0x01})
+	if len(lines) != 1 || lines[0].Text != ".byte 0x01" {
+		t.Errorf("lines = %v", lines)
+	}
+}
+
+func TestListing(t *testing.T) {
+	im, _, err := AssembleString(`
+		nop
+		.org 2:00
+		cla
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := Listing(im)
+	if !strings.Contains(got, "000: e0     nop") {
+		t.Errorf("listing missing nop line:\n%s", got)
+	}
+	if !strings.Contains(got, "200: e1     cla") {
+		t.Errorf("listing missing cla line:\n%s", got)
+	}
+	if !strings.Contains(got, "\n\n") {
+		t.Errorf("regions not separated:\n%s", got)
+	}
+}
+
+func TestDisasmLineString(t *testing.T) {
+	l := DisasmLine{Addr: 0x3A, Bytes: []byte{0x01, 0x23}, Text: "lda 1:23"}
+	if got := l.String(); got != "03a: 01 23  lda 1:23" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,252 @@
+package parwan
+
+import (
+	"fmt"
+
+	"repro/internal/logic"
+)
+
+// Bus is the CPU's window onto the system interconnect. Every instruction
+// fetch and operand access goes through it, which is what lets a surrounding
+// system model subject the address and data busses to crosstalk: the address
+// the CPU drives may be received corrupted by the memory, and the data byte
+// may be corrupted in either direction.
+type Bus interface {
+	// Read drives addr onto the address bus and returns the byte that
+	// arrives back at the CPU on the data bus.
+	Read(addr logic.Word) logic.Word
+	// Write drives addr onto the address bus and data onto the data bus
+	// toward the memory.
+	Write(addr, data logic.Word)
+}
+
+// Flags is the processor status: overflow, carry, zero, negative.
+type Flags struct {
+	V, C, Z, N bool
+}
+
+// String renders the flags as e.g. "v=0 c=1 z=0 n=0".
+func (f Flags) String() string {
+	b := func(x bool) int {
+		if x {
+			return 1
+		}
+		return 0
+	}
+	return fmt.Sprintf("v=%d c=%d z=%d n=%d", b(f.V), b(f.C), b(f.Z), b(f.N))
+}
+
+// Cycle costs of the multi-cycle core. Each bus transaction (address phase
+// plus data phase) costs two clock cycles; decode and ALU operations cost
+// one each. These are in line with the paper's reported program execution
+// time of 1720 cycles for the complete self-test program.
+const (
+	CyclesBusAccess = 2
+	CyclesDecode    = 1
+	CyclesExecute   = 1
+)
+
+// CPU is the multi-cycle accumulator processor core.
+type CPU struct {
+	bus Bus
+
+	PC     uint16 // 12-bit program counter
+	AC     uint8  // accumulator
+	Flags  Flags
+	Cycles uint64 // total clock cycles consumed
+	Steps  uint64 // instructions retired
+
+	halted bool
+}
+
+// New returns a CPU attached to the given bus, reset to address 0.
+func New(bus Bus) *CPU {
+	return &CPU{bus: bus}
+}
+
+// Reset returns the CPU to its power-on state (PC=0, AC=0, flags clear)
+// without clearing cycle counters.
+func (c *CPU) Reset() {
+	c.PC, c.AC, c.Flags, c.halted = 0, 0, Flags{}, false
+}
+
+// Halted reports whether the CPU has executed a halt (a direct JMP to its
+// own address, the conventional self-loop end of a Parwan program).
+func (c *CPU) Halted() bool { return c.halted }
+
+func addrWord(a uint16) logic.Word { return logic.NewWord(uint64(a&0xFFF), AddrBits) }
+func dataWord(v uint8) logic.Word  { return logic.NewWord(uint64(v), DataBits) }
+
+func (c *CPU) read(addr uint16) uint8 {
+	c.Cycles += CyclesBusAccess
+	return uint8(c.bus.Read(addrWord(addr)).Uint64())
+}
+
+func (c *CPU) write(addr uint16, v uint8) {
+	c.Cycles += CyclesBusAccess
+	c.bus.Write(addrWord(addr), dataWord(v))
+}
+
+func (c *CPU) setZN() {
+	c.Flags.Z = c.AC == 0
+	c.Flags.N = c.AC&0x80 != 0
+}
+
+// Step fetches, decodes, and executes one instruction. It returns an error
+// on an illegal opcode (which, in the defect-simulation environment, can
+// legitimately happen when crosstalk corrupts a fetched opcode byte; the
+// simulator treats it as a detectably failing run).
+func (c *CPU) Step() error {
+	if c.halted {
+		return nil
+	}
+	instrAddr := c.PC
+	first := c.read(c.PC)
+	c.PC = (c.PC + 1) & 0xFFF
+	c.Cycles += CyclesDecode
+
+	var in Instruction
+	if size := instructionSize(first); size == 2 {
+		second := c.read(c.PC)
+		c.PC = (c.PC + 1) & 0xFFF
+		var err error
+		in, _, err = Decode([]byte{first, second})
+		if err != nil {
+			return fmt.Errorf("at %03x: %w", instrAddr, err)
+		}
+	} else {
+		var err error
+		in, _, err = Decode([]byte{first})
+		if err != nil {
+			return fmt.Errorf("at %03x: %w", instrAddr, err)
+		}
+	}
+
+	c.Steps++
+	return c.execute(instrAddr, in)
+}
+
+// instructionSize returns the encoded size implied by the first byte alone,
+// which is what the hardware's sequencer knows at fetch time. Unrecognised
+// bytes in the 1110 group are treated as one-byte so that decode can report
+// the illegal opcode.
+func instructionSize(first byte) int {
+	if first>>5 != 0x7 {
+		return 2 // full-address groups
+	}
+	if first&0x10 != 0 {
+		return 2 // branch group
+	}
+	return 1 // non-address group
+}
+
+func (c *CPU) execute(instrAddr uint16, in Instruction) error {
+	switch {
+	case in.Op.IsFullAddress():
+		ea := in.Target
+		if in.Op.IsIndirect() {
+			// Indirect addressing: the byte at the direct address supplies
+			// the effective offset within the same page.
+			off := c.read(ea)
+			ea = ea&0xF00 | uint16(off)
+		}
+		switch in.Op.Direct() {
+		case LDA:
+			c.AC = c.read(ea)
+			c.Cycles += CyclesExecute
+			c.setZN()
+		case AND:
+			c.AC &= c.read(ea)
+			c.Cycles += CyclesExecute
+			c.setZN()
+		case ADD:
+			m := c.read(ea)
+			r := uint16(c.AC) + uint16(m)
+			c.Flags.C = r > 0xFF
+			c.Flags.V = (c.AC^m)&0x80 == 0 && (c.AC^uint8(r))&0x80 != 0
+			c.AC = uint8(r)
+			c.Cycles += CyclesExecute
+			c.setZN()
+		case SUB:
+			m := c.read(ea)
+			r := uint16(c.AC) - uint16(m)
+			c.Flags.C = c.AC < m // borrow
+			c.Flags.V = (c.AC^m)&0x80 != 0 && (c.AC^uint8(r))&0x80 != 0
+			c.AC = uint8(r)
+			c.Cycles += CyclesExecute
+			c.setZN()
+		case JMP:
+			if in.Op == JMP && ea == instrAddr {
+				c.halted = true
+			}
+			c.PC = ea & 0xFFF
+			c.Cycles += CyclesExecute
+		case STA:
+			c.write(ea, c.AC)
+			c.Cycles += CyclesExecute
+		case JSR:
+			// The return offset is stored at the target; execution continues
+			// at target+1 (Parwan's in-page subroutine linkage).
+			c.write(ea, uint8(c.PC&0xFF))
+			c.PC = (ea + 1) & 0xFFF
+			c.Cycles += CyclesExecute
+		}
+	case in.Op.IsBranch():
+		taken := false
+		switch in.Op {
+		case BRAV:
+			taken = c.Flags.V
+		case BRAC:
+			taken = c.Flags.C
+		case BRAZ:
+			taken = c.Flags.Z
+		case BRAN:
+			taken = c.Flags.N
+		}
+		if taken {
+			// Branch within the current page (the page of the next
+			// instruction).
+			c.PC = c.PC&0xF00 | in.Target&0xFF
+		}
+		c.Cycles += CyclesExecute
+	default:
+		switch in.Op {
+		case NOP:
+		case CLA:
+			c.AC = 0
+		case CMA:
+			c.AC = ^c.AC
+			c.setZN()
+		case CMC:
+			c.Flags.C = !c.Flags.C
+		case ASL:
+			old := c.AC
+			c.Flags.C = old&0x80 != 0
+			c.AC = old << 1
+			c.Flags.V = (old^c.AC)&0x80 != 0
+			c.setZN()
+		case ASR:
+			old := c.AC
+			c.Flags.C = old&1 != 0
+			c.AC = old>>1 | old&0x80 // arithmetic: sign bit replicated
+			c.setZN()
+		}
+		c.Cycles += CyclesExecute
+	}
+	return nil
+}
+
+// Run executes instructions until the CPU halts or maxSteps instructions
+// have retired, whichever comes first. It returns the number of instructions
+// executed and the first execution error, if any.
+func (c *CPU) Run(maxSteps int) (int, error) {
+	for n := 0; n < maxSteps; n++ {
+		if c.halted {
+			return n, nil
+		}
+		if err := c.Step(); err != nil {
+			return n, err
+		}
+	}
+	return maxSteps, nil
+}

@@ -1,0 +1,579 @@
+package parwan
+
+import (
+	"testing"
+
+	"repro/internal/logic"
+)
+
+// flatBus is an ideal (crosstalk-free) memory-backed bus for CPU unit tests.
+type flatBus struct {
+	mem    [MemSize]byte
+	reads  int
+	writes int
+}
+
+func (b *flatBus) Read(addr logic.Word) logic.Word {
+	b.reads++
+	return logic.NewWord(uint64(b.mem[addr.Uint64()]), DataBits)
+}
+
+func (b *flatBus) Write(addr, data logic.Word) {
+	b.writes++
+	b.mem[addr.Uint64()] = byte(data.Uint64())
+}
+
+// load assembles src into a fresh bus + CPU.
+func load(t *testing.T, src string) (*CPU, *flatBus) {
+	t.Helper()
+	im, _, err := AssembleString(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	bus := &flatBus{}
+	copy(bus.mem[:], im.Bytes())
+	return New(bus), bus
+}
+
+// run executes until halt, failing the test on error or non-termination.
+func run(t *testing.T, c *CPU) {
+	t.Helper()
+	if _, err := c.Run(10000); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !c.Halted() {
+		t.Fatal("program did not halt")
+	}
+}
+
+func TestLDADirect(t *testing.T) {
+	c, _ := load(t, `
+		lda 1:00
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x5A
+	`)
+	run(t, c)
+	if c.AC != 0x5A {
+		t.Errorf("AC = %02x, want 5a", c.AC)
+	}
+	if c.Flags.Z || c.Flags.N {
+		t.Errorf("flags = %v", c.Flags)
+	}
+}
+
+func TestLDAFlags(t *testing.T) {
+	c, _ := load(t, `
+		lda 1:00
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x80
+	`)
+	run(t, c)
+	if !c.Flags.N || c.Flags.Z {
+		t.Errorf("flags after loading 0x80: %v", c.Flags)
+	}
+
+	c, _ = load(t, `
+		cma      ; AC = FF so the load visibly changes it
+		lda 1:00
+	halt:	jmp halt
+		.org 1:00
+		.byte 0
+	`)
+	run(t, c)
+	if !c.Flags.Z || c.Flags.N || c.AC != 0 {
+		t.Errorf("after loading 0: AC=%02x flags=%v", c.AC, c.Flags)
+	}
+}
+
+func TestSTA(t *testing.T) {
+	c, bus := load(t, `
+		lda 1:00
+		sta 2:10
+	halt:	jmp halt
+		.org 1:00
+		.byte 0xA7
+	`)
+	run(t, c)
+	if bus.mem[0x210] != 0xA7 {
+		t.Errorf("mem[2:10] = %02x, want a7", bus.mem[0x210])
+	}
+}
+
+func TestADD(t *testing.T) {
+	c, _ := load(t, `
+		lda 1:00
+		add 1:01
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x30, 0x12
+	`)
+	run(t, c)
+	if c.AC != 0x42 {
+		t.Errorf("AC = %02x, want 42", c.AC)
+	}
+	if c.Flags.C || c.Flags.V {
+		t.Errorf("flags = %v", c.Flags)
+	}
+}
+
+func TestADDCarryAndOverflow(t *testing.T) {
+	// 0xFF + 1 = 0x00 with carry, no signed overflow.
+	c, _ := load(t, `
+		lda 1:00
+		add 1:01
+	halt:	jmp halt
+		.org 1:00
+		.byte 0xFF, 0x01
+	`)
+	run(t, c)
+	if !c.Flags.C || c.Flags.V || !c.Flags.Z || c.AC != 0 {
+		t.Errorf("FF+01: AC=%02x flags=%v", c.AC, c.Flags)
+	}
+
+	// 0x7F + 1 = 0x80: signed overflow, no carry.
+	c, _ = load(t, `
+		lda 1:00
+		add 1:01
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x7F, 0x01
+	`)
+	run(t, c)
+	if c.Flags.C || !c.Flags.V || !c.Flags.N {
+		t.Errorf("7F+01: AC=%02x flags=%v", c.AC, c.Flags)
+	}
+}
+
+func TestSUB(t *testing.T) {
+	c, _ := load(t, `
+		lda 1:00
+		sub 1:01
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x10, 0x01
+	`)
+	run(t, c)
+	if c.AC != 0x0F || c.Flags.C {
+		t.Errorf("10-01: AC=%02x flags=%v", c.AC, c.Flags)
+	}
+
+	// Borrow case.
+	c, _ = load(t, `
+		lda 1:00
+		sub 1:01
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x00, 0x01
+	`)
+	run(t, c)
+	if c.AC != 0xFF || !c.Flags.C || !c.Flags.N {
+		t.Errorf("00-01: AC=%02x flags=%v", c.AC, c.Flags)
+	}
+}
+
+func TestAND(t *testing.T) {
+	c, _ := load(t, `
+		lda 1:00
+		and 1:01
+	halt:	jmp halt
+		.org 1:00
+		.byte 0xF0, 0x3C
+	`)
+	run(t, c)
+	if c.AC != 0x30 {
+		t.Errorf("AC = %02x, want 30", c.AC)
+	}
+}
+
+func TestIndirectLoad(t *testing.T) {
+	// lda_i 1:00 reads M[1:00]=0x20 as the new offset, then loads M[1:20].
+	c, _ := load(t, `
+		lda_i 1:00
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x20
+		.org 1:20
+		.byte 0x99
+	`)
+	run(t, c)
+	if c.AC != 0x99 {
+		t.Errorf("AC = %02x, want 99", c.AC)
+	}
+}
+
+func TestIndirectStore(t *testing.T) {
+	c, bus := load(t, `
+		cma              ; AC = FF
+		sta_i 1:00
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x44
+	`)
+	run(t, c)
+	if bus.mem[0x144] != 0xFF {
+		t.Errorf("mem[1:44] = %02x, want ff", bus.mem[0x144])
+	}
+}
+
+func TestJMP(t *testing.T) {
+	c, _ := load(t, `
+		jmp 2:00
+		.org 2:00
+		cma
+	halt:	jmp halt
+	`)
+	run(t, c)
+	if c.AC != 0xFF {
+		t.Errorf("jump target not executed, AC = %02x", c.AC)
+	}
+}
+
+func TestJMPIndirect(t *testing.T) {
+	c, _ := load(t, `
+		jmp_i 1:00       ; M[1:00]=0x80 -> jump to 1:80
+		.org 1:00
+		.byte 0x80
+		.org 1:80
+		cma
+	halt:	jmp halt
+	`)
+	run(t, c)
+	if c.AC != 0xFF {
+		t.Errorf("indirect jump target not executed, AC = %02x", c.AC)
+	}
+}
+
+func TestJSR(t *testing.T) {
+	// jsr 0:40: return offset stored at 0:40, body starts at 0:41; the body
+	// returns with jmp_i 0:40. Parwan subroutine linkage is in-page: the
+	// indirect return jump resolves within the link cell's page.
+	c, bus := load(t, `
+		jsr 0:40
+		sta 2:00         ; after return, store AC
+	halt:	jmp halt
+		.org 0:40
+		.byte 0          ; link cell
+		cma              ; subroutine body: AC = FF
+		jmp_i 0:40       ; return
+	`)
+	run(t, c)
+	if bus.mem[0x200] != 0xFF {
+		t.Errorf("subroutine result not stored: mem[2:00] = %02x", bus.mem[0x200])
+	}
+	if bus.mem[0x040] != 0x02 {
+		t.Errorf("link cell = %02x, want 02 (offset after jsr)", bus.mem[0x040])
+	}
+}
+
+func TestBranches(t *testing.T) {
+	// bra_z taken after loading zero.
+	c, _ := load(t, `
+		lda 1:00
+		bra_z ok
+		cma              ; skipped when branch taken
+	ok:	sta 2:00
+	halt:	jmp halt
+		.org 1:00
+		.byte 0
+	`)
+	run(t, c)
+	if c.AC != 0 {
+		t.Errorf("bra_z not taken: AC = %02x", c.AC)
+	}
+
+	// bra_z not taken after loading nonzero.
+	c, _ = load(t, `
+		lda 1:00
+		bra_z skip
+		cma
+	skip:
+	halt:	jmp halt
+		.org 1:00
+		.byte 1
+	`)
+	run(t, c)
+	if c.AC != 0xFE {
+		t.Errorf("bra_z wrongly taken: AC = %02x", c.AC)
+	}
+}
+
+func TestBranchConditions(t *testing.T) {
+	// bra_n after loading a negative value.
+	c, _ := load(t, `
+		lda 1:00
+		bra_n ok
+		cla
+	ok:
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x80
+	`)
+	run(t, c)
+	if c.AC != 0x80 {
+		t.Errorf("bra_n not taken: AC = %02x", c.AC)
+	}
+
+	// bra_c after a carry-producing add.
+	c, _ = load(t, `
+		lda 1:00
+		add 1:00
+		bra_c ok
+		cla
+	ok:
+	halt:	jmp halt
+		.org 1:00
+		.byte 0xFF
+	`)
+	run(t, c)
+	if c.AC != 0xFE {
+		t.Errorf("bra_c not taken: AC = %02x", c.AC)
+	}
+
+	// bra_v after a signed-overflow add.
+	c, _ = load(t, `
+		lda 1:00
+		add 1:00
+		bra_v ok
+		cla
+	ok:
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x40
+	`)
+	run(t, c)
+	if c.AC != 0x80 {
+		t.Errorf("bra_v not taken: AC = %02x", c.AC)
+	}
+}
+
+func TestNonAddressOps(t *testing.T) {
+	c, _ := load(t, `
+		nop
+		cla
+		cma              ; AC = FF
+		asr              ; arithmetic: FF stays FF, C from bit0
+	halt:	jmp halt
+	`)
+	run(t, c)
+	if c.AC != 0xFF || !c.Flags.C || !c.Flags.N {
+		t.Errorf("asr: AC=%02x flags=%v", c.AC, c.Flags)
+	}
+
+	c, _ = load(t, `
+		cla
+		cmc
+	halt:	jmp halt
+	`)
+	run(t, c)
+	if !c.Flags.C {
+		t.Error("cmc did not set carry")
+	}
+
+	c, _ = load(t, `
+		lda 1:00
+		asl
+	halt:	jmp halt
+		.org 1:00
+		.byte 0xC1
+	`)
+	run(t, c)
+	// C1 << 1 = 82; carry out of bit 7; sign unchanged so V clear.
+	if c.AC != 0x82 || !c.Flags.C || c.Flags.V {
+		t.Errorf("asl C1: AC=%02x flags=%v", c.AC, c.Flags)
+	}
+
+	c, _ = load(t, `
+		lda 1:00
+		asl
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x40
+	`)
+	run(t, c)
+	// 40 << 1 = 80: sign flipped, V set.
+	if c.AC != 0x80 || c.Flags.C || !c.Flags.V {
+		t.Errorf("asl 40: AC=%02x flags=%v", c.AC, c.Flags)
+	}
+}
+
+func TestHaltIsSelfJump(t *testing.T) {
+	c, _ := load(t, `
+	halt:	jmp halt
+	`)
+	n, err := c.Run(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted() || n != 1 {
+		t.Errorf("halted=%v after %d steps", c.Halted(), n)
+	}
+	// Further steps are no-ops.
+	before := c.Cycles
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles != before {
+		t.Error("halted CPU consumed cycles")
+	}
+}
+
+func TestRunLimit(t *testing.T) {
+	// Infinite two-instruction loop (not a self-jump): Run returns at the
+	// step limit without halting.
+	c, _ := load(t, `
+	loop:	cma
+		jmp loop
+	`)
+	n, err := c.Run(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 || c.Halted() {
+		t.Errorf("n=%d halted=%v", n, c.Halted())
+	}
+}
+
+func TestIllegalOpcodeReported(t *testing.T) {
+	bus := &flatBus{}
+	bus.mem[0] = 0xE3 // unassigned non-address encoding
+	c := New(bus)
+	if err := c.Step(); err == nil {
+		t.Error("illegal opcode not reported")
+	}
+}
+
+// TestLDABusTransactionSequence pins the load instruction's bus behaviour
+// (paper Fig. 5): three reads — byte 1 at Ai, byte 2 at Ai+1, operand at Ax —
+// in that order.
+func TestLDABusTransactionSequence(t *testing.T) {
+	rec := &recordingBus{}
+	im, _, err := AssembleString(`
+		.org 0:10
+		lda e:37
+		.org e:37
+		.byte 0x55
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(rec.mem[:], im.Bytes())
+	c := New(rec)
+	c.PC = 0x010
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint16{0x010, 0x011, 0xE37}
+	if len(rec.readAddrs) != len(want) {
+		t.Fatalf("reads = %x, want %x", rec.readAddrs, want)
+	}
+	for i, a := range want {
+		if rec.readAddrs[i] != a {
+			t.Errorf("read %d at %03x, want %03x", i, rec.readAddrs[i], a)
+		}
+	}
+	if c.AC != 0x55 {
+		t.Errorf("AC = %02x", c.AC)
+	}
+}
+
+// TestSTABusTransactionSequence: sta fetches two bytes then writes the
+// operand address.
+func TestSTABusTransactionSequence(t *testing.T) {
+	rec := &recordingBus{}
+	im, _, err := AssembleString(`
+		.org 0:10
+		sta 3:99
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(rec.mem[:], im.Bytes())
+	c := New(rec)
+	c.PC = 0x010
+	c.AC = 0xAB
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.readAddrs) != 2 || len(rec.writeAddrs) != 1 {
+		t.Fatalf("reads=%x writes=%x", rec.readAddrs, rec.writeAddrs)
+	}
+	if rec.writeAddrs[0] != 0x399 || rec.writeData[0] != 0xAB {
+		t.Errorf("write %03x=%02x, want 399=ab", rec.writeAddrs[0], rec.writeData[0])
+	}
+}
+
+type recordingBus struct {
+	mem        [MemSize]byte
+	readAddrs  []uint16
+	writeAddrs []uint16
+	writeData  []byte
+}
+
+func (b *recordingBus) Read(addr logic.Word) logic.Word {
+	a := uint16(addr.Uint64())
+	b.readAddrs = append(b.readAddrs, a)
+	return logic.NewWord(uint64(b.mem[a]), DataBits)
+}
+
+func (b *recordingBus) Write(addr, data logic.Word) {
+	b.writeAddrs = append(b.writeAddrs, uint16(addr.Uint64()))
+	b.writeData = append(b.writeData, byte(data.Uint64()))
+	b.mem[addr.Uint64()] = byte(data.Uint64())
+}
+
+func TestCycleAccounting(t *testing.T) {
+	c, _ := load(t, `
+		lda 1:00
+	halt:	jmp halt
+		.org 1:00
+		.byte 1
+	`)
+	run(t, c)
+	// lda: 3 bus accesses + decode + execute = 3*2+1+1 = 8.
+	// jmp: 2 bus accesses + decode + execute = 2*2+1+1 = 6.
+	want := uint64(8 + 6)
+	if c.Cycles != want {
+		t.Errorf("cycles = %d, want %d", c.Cycles, want)
+	}
+	if c.Steps != 2 {
+		t.Errorf("steps = %d, want 2", c.Steps)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c, _ := load(t, `
+		cma
+	halt:	jmp halt
+	`)
+	run(t, c)
+	c.Reset()
+	if c.PC != 0 || c.AC != 0 || c.Halted() || (c.Flags != Flags{}) {
+		t.Errorf("after reset: PC=%03x AC=%02x halted=%v flags=%v", c.PC, c.AC, c.Halted(), c.Flags)
+	}
+	if c.Cycles == 0 {
+		t.Error("reset cleared cycle counter")
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	f := Flags{C: true}
+	if got := f.String(); got != "v=0 c=1 z=0 n=0" {
+		t.Errorf("Flags.String() = %q", got)
+	}
+}
+
+func TestPCWraps(t *testing.T) {
+	bus := &flatBus{}
+	bus.mem[0xFFF] = 0xE0 // nop at the top of memory
+	bus.mem[0x000] = 0xE2 // cma at 0
+	c := New(bus)
+	c.PC = 0xFFF
+	if err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if c.PC != 0 {
+		t.Errorf("PC after top-of-memory nop = %03x, want 000", c.PC)
+	}
+}

@@ -1,0 +1,79 @@
+package parwan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DisasmLine is one disassembled instruction or data byte.
+type DisasmLine struct {
+	Addr  uint16
+	Bytes []byte
+	Text  string // assembler syntax, or ".byte NN" for undecodable bytes
+}
+
+// String renders the line in listing format: "aaa: bb bb  text".
+func (l DisasmLine) String() string {
+	var hex strings.Builder
+	for i, b := range l.Bytes {
+		if i > 0 {
+			hex.WriteByte(' ')
+		}
+		fmt.Fprintf(&hex, "%02x", b)
+	}
+	return fmt.Sprintf("%03x: %-5s  %s", l.Addr, hex.String(), l.Text)
+}
+
+// Disassemble decodes the byte run starting at addr into instructions,
+// emitting ".byte" lines for illegal encodings so the listing always covers
+// every input byte.
+func Disassemble(addr uint16, bs []byte) []DisasmLine {
+	var lines []DisasmLine
+	for len(bs) > 0 {
+		in, size, err := Decode(bs)
+		if err != nil || size > len(bs) {
+			lines = append(lines, DisasmLine{
+				Addr:  addr,
+				Bytes: []byte{bs[0]},
+				Text:  fmt.Sprintf(".byte 0x%02x", bs[0]),
+			})
+			addr++
+			bs = bs[1:]
+			continue
+		}
+		lines = append(lines, DisasmLine{
+			Addr:  addr,
+			Bytes: append([]byte(nil), bs[:size]...),
+			Text:  in.String(),
+		})
+		addr += uint16(size)
+		bs = bs[size:]
+	}
+	return lines
+}
+
+// Listing disassembles every pinned region of an image, one listing block
+// per contiguous run, separated by blank lines.
+func Listing(im *Image) string {
+	var sb strings.Builder
+	addrs := im.UsedAddrs()
+	for i := 0; i < len(addrs); {
+		j := i
+		for j+1 < len(addrs) && addrs[j+1] == addrs[j]+1 {
+			j++
+		}
+		run := make([]byte, 0, j-i+1)
+		for k := i; k <= j; k++ {
+			run = append(run, im.Get(addrs[k]))
+		}
+		if sb.Len() > 0 {
+			sb.WriteByte('\n')
+		}
+		for _, l := range Disassemble(addrs[i], run) {
+			sb.WriteString(l.String())
+			sb.WriteByte('\n')
+		}
+		i = j + 1
+	}
+	return sb.String()
+}

@@ -1,0 +1,127 @@
+package parwan
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestDecodeNeverPanics: arbitrary byte pairs either decode or return an
+// error — the decoder must be total because crosstalk can corrupt any fetch.
+func TestDecodeNeverPanics(t *testing.T) {
+	f := func(b1, b2 byte) bool {
+		defer func() {
+			if recover() != nil {
+				t.Fatalf("Decode(% x % x) panicked", b1, b2)
+			}
+		}()
+		_, _, _ = Decode([]byte{b1, b2})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDecodeSizeConsistency: when Decode succeeds, the reported size matches
+// the op's Size and re-encoding reproduces the consumed bytes.
+func TestDecodeSizeConsistency(t *testing.T) {
+	f := func(b1, b2 byte) bool {
+		in, size, err := Decode([]byte{b1, b2})
+		if err != nil {
+			return true
+		}
+		if size != in.Op.Size() {
+			return false
+		}
+		enc, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		if enc[0] != b1 {
+			return false
+		}
+		if size == 2 && enc[1] != b2 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRandomMemoryExecutionIsSafe: running the CPU over random memory images
+// never panics and never exceeds its step budget silently — it either
+// halts, errors on an illegal opcode, or runs out of steps. This is the
+// robustness the defect simulator depends on when corrupted fetches send
+// the CPU into arbitrary bytes.
+func TestRandomMemoryExecutionIsSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		bus := &flatBus{}
+		for i := range bus.mem {
+			bus.mem[i] = byte(rng.Intn(256))
+		}
+		c := New(bus)
+		c.PC = uint16(rng.Intn(MemSize))
+		n, err := c.Run(2000)
+		if err == nil && !c.Halted() && n != 2000 {
+			t.Fatalf("trial %d: run stopped after %d steps without halt or error", trial, n)
+		}
+	}
+}
+
+// TestRandomProgramsDeterministic: the same random image executes to the
+// same architectural state twice.
+func TestRandomProgramsDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	img := make([]byte, MemSize)
+	for i := range img {
+		img[i] = byte(rng.Intn(256))
+	}
+	run := func() (uint16, uint8, uint64) {
+		bus := &flatBus{}
+		copy(bus.mem[:], img)
+		c := New(bus)
+		_, _ = c.Run(5000)
+		return c.PC, c.AC, c.Cycles
+	}
+	pc1, ac1, cy1 := run()
+	pc2, ac2, cy2 := run()
+	if pc1 != pc2 || ac1 != ac2 || cy1 != cy2 {
+		t.Errorf("nondeterministic execution: (%03x,%02x,%d) vs (%03x,%02x,%d)",
+			pc1, ac1, cy1, pc2, ac2, cy2)
+	}
+}
+
+// TestStepCountsMonotone: cycles strictly increase with every non-halted
+// step.
+func TestStepCountsMonotone(t *testing.T) {
+	im, _, err := AssembleString(`
+		cla
+		cma
+		asl
+		asr
+	halt:	jmp halt
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := &flatBus{}
+	copy(bus.mem[:], im.Bytes())
+	c := New(bus)
+	prev := c.Cycles
+	for !c.Halted() {
+		if err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if c.Halted() {
+			break
+		}
+		if c.Cycles <= prev {
+			t.Fatalf("cycles did not advance: %d -> %d", prev, c.Cycles)
+		}
+		prev = c.Cycles
+	}
+}

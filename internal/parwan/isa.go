@@ -1,0 +1,258 @@
+// Package parwan implements the embedded processor core used by the paper's
+// CPU-memory system: an 8-bit accumulator-based multi-cycle processor with 23
+// instructions and a 4K (12-bit) address space, modelled on Navabi's Parwan
+// processor [12]. The package provides the ISA (encoding and decoding), a
+// two-pass assembler and disassembler, and a cycle-accounting CPU core that
+// issues every memory access through a bus interface so that a surrounding
+// system model can subject the address and data busses to crosstalk.
+//
+// Instruction format (paper Fig. 4): full-address instructions occupy two
+// bytes. The first byte carries the opcode in its upper nibble (three opcode
+// bits plus an indirect flag) and the 4-bit page number of the operand
+// address in its lower nibble; the second byte carries the 8-bit page offset.
+// Non-address and branch instructions use the 111 opcode group.
+//
+// The 23 instructions: LDA, AND, ADD, SUB, JMP, STA, JSR (direct), the six
+// indirect variants of LDA/AND/ADD/SUB/JMP/STA, the branches BRA_V, BRA_C,
+// BRA_Z, BRA_N, and the non-address instructions NOP, CLA, CMA, CMC, ASL,
+// ASR.
+package parwan
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Address-space geometry of the modelled system.
+const (
+	AddrBits  = 12            // address bus width
+	DataBits  = 8             // data bus width
+	MemSize   = 1 << AddrBits // 4K bytes
+	PageSize  = 256           // bytes per page
+	PageCount = MemSize / PageSize
+)
+
+// Op identifies one of the 23 instructions.
+type Op uint8
+
+// The instruction set. Order groups full-address direct ops first (their
+// value equals the 3-bit opcode field), making encoding straightforward.
+const (
+	LDA  Op = iota // load accumulator from memory
+	AND            // AC &= M[ea]
+	ADD            // AC += M[ea], sets C and V
+	SUB            // AC -= M[ea], sets C (borrow) and V
+	JMP            // jump to ea
+	STA            // store accumulator to memory
+	JSR            // jump subroutine: M[ea] = return offset, PC = ea+1
+	LDAI           // indirect variants: effective offset read from M[page:offset]
+	ANDI
+	ADDI
+	SUBI
+	JMPI
+	STAI
+	BRAV // branch within page if V
+	BRAC // branch within page if C
+	BRAZ // branch within page if Z
+	BRAN // branch within page if N
+	NOP
+	CLA // clear accumulator
+	CMA // complement accumulator
+	CMC // complement carry
+	ASL // arithmetic shift left
+	ASR // arithmetic shift right
+
+	numOps // sentinel
+)
+
+// NumInstructions is the size of the instruction set (the paper's "23
+// instructions").
+const NumInstructions = int(numOps)
+
+var opNames = [numOps]string{
+	"lda", "and", "add", "sub", "jmp", "sta", "jsr",
+	"lda_i", "and_i", "add_i", "sub_i", "jmp_i", "sta_i",
+	"bra_v", "bra_c", "bra_z", "bra_n",
+	"nop", "cla", "cma", "cmc", "asl", "asr",
+}
+
+// String returns the assembler mnemonic for op.
+func (op Op) String() string {
+	if op < numOps {
+		return opNames[op]
+	}
+	return fmt.Sprintf("Op(%d)", uint8(op))
+}
+
+// OpByName looks up an instruction by its assembler mnemonic
+// (case-insensitive).
+func OpByName(name string) (Op, bool) {
+	name = strings.ToLower(name)
+	for op, n := range opNames {
+		if n == name {
+			return Op(op), true
+		}
+	}
+	return 0, false
+}
+
+// IsFullAddress reports whether op takes a 12-bit operand address (two-byte
+// encoding with page and offset).
+func (op Op) IsFullAddress() bool { return op <= STAI }
+
+// IsIndirect reports whether op uses indirect addressing.
+func (op Op) IsIndirect() bool { return op >= LDAI && op <= STAI }
+
+// IsBranch reports whether op is a conditional page-relative branch.
+func (op Op) IsBranch() bool { return op >= BRAV && op <= BRAN }
+
+// Direct returns the direct-addressing counterpart of an indirect op (or op
+// itself when it is not indirect).
+func (op Op) Direct() Op {
+	if op.IsIndirect() {
+		return op - LDAI
+	}
+	return op
+}
+
+// Size returns the encoded size of the instruction in bytes.
+func (op Op) Size() int {
+	if op.IsFullAddress() || op.IsBranch() {
+		return 2
+	}
+	return 1
+}
+
+// Branch condition masks (lower nibble of the 1111xxxx branch byte, one bit
+// per flag in V,C,Z,N order).
+const (
+	condV = 0x8
+	condC = 0x4
+	condZ = 0x2
+	condN = 0x1
+)
+
+var branchCond = map[Op]uint8{BRAV: condV, BRAC: condC, BRAZ: condZ, BRAN: condN}
+
+// Non-address instruction encodings (1110xxxx group).
+var nonAddrCode = map[Op]uint8{
+	NOP: 0xE0, CLA: 0xE1, CMA: 0xE2, CMC: 0xE4, ASL: 0xE8, ASR: 0xE9,
+}
+
+var nonAddrByCode = func() map[uint8]Op {
+	m := make(map[uint8]Op, len(nonAddrCode))
+	for op, c := range nonAddrCode {
+		m[c] = op
+	}
+	return m
+}()
+
+// Instruction is one decoded instruction. Target is the 12-bit operand
+// address of full-address instructions or, for branches, the 8-bit in-page
+// offset stored in its low byte.
+type Instruction struct {
+	Op     Op
+	Target uint16
+}
+
+// Encode returns the instruction's byte encoding. It returns an error when
+// the target is out of range for the operand field.
+func (in Instruction) Encode() ([]byte, error) {
+	switch {
+	case in.Op.IsFullAddress():
+		if in.Target >= MemSize {
+			return nil, fmt.Errorf("parwan: target %#x out of 12-bit range", in.Target)
+		}
+		page := byte(in.Target >> 8)
+		offset := byte(in.Target & 0xFF)
+		group := byte(in.Op.Direct()) << 5
+		if in.Op.IsIndirect() {
+			group |= 1 << 4
+		}
+		return []byte{group | page, offset}, nil
+	case in.Op.IsBranch():
+		if in.Target > 0xFF {
+			return nil, fmt.Errorf("parwan: branch offset %#x out of 8-bit range", in.Target)
+		}
+		return []byte{0xF0 | branchCond[in.Op], byte(in.Target)}, nil
+	default:
+		code, ok := nonAddrCode[in.Op]
+		if !ok {
+			return nil, fmt.Errorf("parwan: cannot encode op %v", in.Op)
+		}
+		if in.Target != 0 {
+			return nil, fmt.Errorf("parwan: op %v takes no operand", in.Op)
+		}
+		return []byte{code}, nil
+	}
+}
+
+// MustEncode is Encode for known-good instructions; it panics on error.
+func (in Instruction) MustEncode() []byte {
+	b, err := in.Encode()
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Decode decodes the instruction beginning at b[0]; two-byte instructions
+// consume b[1] as well. It returns the instruction and its encoded size.
+func Decode(b []byte) (Instruction, int, error) {
+	if len(b) == 0 {
+		return Instruction{}, 0, fmt.Errorf("parwan: empty instruction stream")
+	}
+	first := b[0]
+	group := first >> 5
+	if group != 0x7 { // full-address groups 000..110
+		op := Op(group)
+		if first&0x10 != 0 {
+			if op == JSR {
+				return Instruction{}, 0, fmt.Errorf("parwan: illegal opcode byte %#02x (indirect jsr)", first)
+			}
+			op += LDAI
+		}
+		if len(b) < 2 {
+			return Instruction{}, 0, fmt.Errorf("parwan: truncated %v instruction", op)
+		}
+		target := uint16(first&0x0F)<<8 | uint16(b[1])
+		return Instruction{Op: op, Target: target}, 2, nil
+	}
+	if first&0x10 != 0 { // 1111xxxx: branch
+		var op Op
+		switch first & 0x0F {
+		case condV:
+			op = BRAV
+		case condC:
+			op = BRAC
+		case condZ:
+			op = BRAZ
+		case condN:
+			op = BRAN
+		default:
+			return Instruction{}, 0, fmt.Errorf("parwan: illegal branch byte %#02x", first)
+		}
+		if len(b) < 2 {
+			return Instruction{}, 0, fmt.Errorf("parwan: truncated %v instruction", op)
+		}
+		return Instruction{Op: op, Target: uint16(b[1])}, 2, nil
+	}
+	op, ok := nonAddrByCode[first]
+	if !ok {
+		return Instruction{}, 0, fmt.Errorf("parwan: illegal opcode byte %#02x", first)
+	}
+	return Instruction{Op: op}, 1, nil
+}
+
+// String renders the instruction in assembler syntax with the paper's
+// page:offset address notation.
+func (in Instruction) String() string {
+	switch {
+	case in.Op.IsFullAddress():
+		return fmt.Sprintf("%s %01x:%02x", in.Op, in.Target>>8, in.Target&0xFF)
+	case in.Op.IsBranch():
+		return fmt.Sprintf("%s %02x", in.Op, in.Target)
+	default:
+		return in.Op.String()
+	}
+}

@@ -1,0 +1,203 @@
+package parwan
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestInstructionSetSize(t *testing.T) {
+	if NumInstructions != 23 {
+		t.Errorf("instruction set has %d instructions, paper's processor has 23", NumInstructions)
+	}
+}
+
+func TestOpNamesRoundTrip(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := OpByName("bogus"); ok {
+		t.Error("OpByName accepted bogus mnemonic")
+	}
+	// Case-insensitive.
+	if got, ok := OpByName("LDA"); !ok || got != LDA {
+		t.Error("OpByName not case-insensitive")
+	}
+	if got := Op(99).String(); got != "Op(99)" {
+		t.Errorf("invalid op String = %q", got)
+	}
+}
+
+func TestOpClassification(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		fa := op.IsFullAddress()
+		br := op.IsBranch()
+		na := !fa && !br
+		count := 0
+		for _, b := range []bool{fa, br, na} {
+			if b {
+				count++
+			}
+		}
+		if count != 1 {
+			t.Errorf("%v: ambiguous classification fa=%v br=%v", op, fa, br)
+		}
+	}
+	if !LDAI.IsIndirect() || LDA.IsIndirect() {
+		t.Error("indirect classification wrong")
+	}
+	if LDAI.Direct() != LDA || STAI.Direct() != STA || JMP.Direct() != JMP {
+		t.Error("Direct mapping wrong")
+	}
+}
+
+func TestOpSize(t *testing.T) {
+	if LDA.Size() != 2 || BRAZ.Size() != 2 || NOP.Size() != 1 || ASL.Size() != 1 {
+		t.Error("instruction sizes wrong")
+	}
+}
+
+// TestEncodingMatchesPaperFig4: the load instruction's first byte carries
+// the opcode nibble and the page; the second carries the offset.
+func TestEncodingMatchesPaperFig4(t *testing.T) {
+	bs, err := Instruction{Op: LDA, Target: 0xE00}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// LDA opcode group 000, direct: upper nibble 0000; page E; offset 00.
+	if bs[0] != 0x0E || bs[1] != 0x00 {
+		t.Errorf("lda e:00 encodes as %02x %02x", bs[0], bs[1])
+	}
+	bs, err = Instruction{Op: STA, Target: 0x3A5}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// STA group 101 -> upper bits 1010 with page 3 -> 0xA3, offset A5.
+	if bs[0] != 0xA3 || bs[1] != 0xA5 {
+		t.Errorf("sta 3:a5 encodes as %02x %02x", bs[0], bs[1])
+	}
+	// Indirect sets bit 4.
+	bs, err = Instruction{Op: LDAI, Target: 0x100}.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bs[0] != 0x11 {
+		t.Errorf("lda_i 1:00 first byte = %02x", bs[0])
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	for op := Op(0); op < numOps; op++ {
+		in := Instruction{Op: op}
+		if op.IsFullAddress() {
+			in.Target = 0xABC
+		} else if op.IsBranch() {
+			in.Target = 0x42
+		}
+		bs, err := in.Encode()
+		if err != nil {
+			t.Errorf("%v: encode: %v", op, err)
+			continue
+		}
+		if len(bs) != op.Size() {
+			t.Errorf("%v: encoded %d bytes, Size says %d", op, len(bs), op.Size())
+		}
+		got, size, err := Decode(bs)
+		if err != nil {
+			t.Errorf("%v: decode: %v", op, err)
+			continue
+		}
+		if size != len(bs) || got != in {
+			t.Errorf("%v: round trip %v (size %d), want %v", op, got, size, in)
+		}
+	}
+}
+
+// Property: every 12-bit target round-trips through every full-address op.
+func TestFullAddressTargetRoundTrip(t *testing.T) {
+	f := func(target uint16, opSel uint8) bool {
+		ops := []Op{LDA, AND, ADD, SUB, JMP, STA, JSR, LDAI, ANDI, ADDI, SUBI, JMPI, STAI}
+		op := ops[int(opSel)%len(ops)]
+		in := Instruction{Op: op, Target: target & 0xFFF}
+		bs, err := in.Encode()
+		if err != nil {
+			return false
+		}
+		got, _, err := Decode(bs)
+		return err == nil && got == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEncodeErrors(t *testing.T) {
+	if _, err := (Instruction{Op: LDA, Target: 0x1000}).Encode(); err == nil {
+		t.Error("13-bit target accepted")
+	}
+	if _, err := (Instruction{Op: BRAZ, Target: 0x100}).Encode(); err == nil {
+		t.Error("9-bit branch offset accepted")
+	}
+	if _, err := (Instruction{Op: NOP, Target: 1}).Encode(); err == nil {
+		t.Error("operand on nop accepted")
+	}
+	if _, err := (Instruction{Op: Op(99)}).Encode(); err == nil {
+		t.Error("invalid op encoded")
+	}
+}
+
+func TestMustEncodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustEncode did not panic")
+		}
+	}()
+	Instruction{Op: Op(99)}.MustEncode()
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := [][]byte{
+		nil,          // empty
+		{0x0E},       // truncated lda
+		{0xF2},       // truncated branch
+		{0xF0, 0x00}, // branch with empty condition mask
+		{0xF3, 0x00}, // branch with multi-bit mask
+		{0xE3},       // unassigned non-address code
+		{0xD0, 0x00}, // indirect jsr
+	}
+	for _, bs := range cases {
+		if _, _, err := Decode(bs); err == nil {
+			t.Errorf("Decode(% x) succeeded, want error", bs)
+		}
+	}
+}
+
+func TestInstructionString(t *testing.T) {
+	cases := []struct {
+		in   Instruction
+		want string
+	}{
+		{Instruction{Op: LDA, Target: 0xE00}, "lda e:00"},
+		{Instruction{Op: STAI, Target: 0x3A5}, "sta_i 3:a5"},
+		{Instruction{Op: BRAZ, Target: 0x42}, "bra_z 42"},
+		{Instruction{Op: CLA}, "cla"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestInstructionSizeFromFirstByte(t *testing.T) {
+	// Every legal encoding's first byte implies its true size.
+	for op := Op(0); op < numOps; op++ {
+		in := Instruction{Op: op}
+		bs := in.MustEncode()
+		if got := instructionSize(bs[0]); got != op.Size() {
+			t.Errorf("%v: instructionSize(%02x) = %d, want %d", op, bs[0], got, op.Size())
+		}
+	}
+}

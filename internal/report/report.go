@@ -1,0 +1,191 @@
+// Package report renders experiment results as aligned text tables, CSV,
+// and ASCII bar charts (used to regenerate the paper's Fig. 11 in a
+// terminal).
+package report
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple column-aligned text table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v.
+func (t *Table) AddRow(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Write renders the table.
+func (t *Table) Write(w io.Writer) error {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if i < len(cells)-1 {
+				sb.WriteString(strings.Repeat(" ", widths[i]-len(c)))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Write(&sb); err != nil {
+		return ""
+	}
+	return sb.String()
+}
+
+// WriteCSV renders the table as CSV with the headers as the first record.
+func (t *Table) WriteCSV(w io.Writer) error {
+	writeRec := func(cells []string) error {
+		for i, c := range cells {
+			if i > 0 {
+				if _, err := io.WriteString(w, ","); err != nil {
+					return err
+				}
+			}
+			if strings.ContainsAny(c, ",\"\n") {
+				c = `"` + strings.ReplaceAll(c, `"`, `""`) + `"`
+			}
+			if _, err := io.WriteString(w, c); err != nil {
+				return err
+			}
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	}
+	if err := writeRec(t.Headers); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRec(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BarChart renders grouped horizontal bars, one row per label, scaled to
+// maxWidth characters. Values are fractions in [0, 1].
+type BarChart struct {
+	Title    string
+	MaxWidth int // bar width in characters; 0 selects 50
+	rows     []barRow
+}
+
+type barRow struct {
+	label      string
+	individual float64
+	cumulative float64
+}
+
+// NewBarChart creates a chart.
+func NewBarChart(title string) *BarChart {
+	return &BarChart{Title: title}
+}
+
+// Add appends a row with an individual and a cumulative value.
+func (b *BarChart) Add(label string, individual, cumulative float64) {
+	b.rows = append(b.rows, barRow{label, clamp01(individual), clamp01(cumulative)})
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Write renders the chart: per row, the individual bar ('#') and the
+// cumulative bar ('='), mirroring the two bar shades of the paper's Fig. 11.
+func (b *BarChart) Write(w io.Writer) error {
+	width := b.MaxWidth
+	if width <= 0 {
+		width = 50
+	}
+	var sb strings.Builder
+	if b.Title != "" {
+		sb.WriteString(b.Title)
+		sb.WriteByte('\n')
+	}
+	labelWidth := 0
+	for _, r := range b.rows {
+		if len(r.label) > labelWidth {
+			labelWidth = len(r.label)
+		}
+	}
+	for _, r := range b.rows {
+		ind := int(r.individual*float64(width) + 0.5)
+		cum := int(r.cumulative*float64(width) + 0.5)
+		fmt.Fprintf(&sb, "%-*s ind |%-*s| %5.1f%%\n", labelWidth, r.label,
+			width, strings.Repeat("#", ind), r.individual*100)
+		fmt.Fprintf(&sb, "%-*s cum |%-*s| %5.1f%%\n", labelWidth, "",
+			width, strings.Repeat("=", cum), r.cumulative*100)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the chart to a string.
+func (b *BarChart) String() string {
+	var sb strings.Builder
+	if err := b.Write(&sb); err != nil {
+		return ""
+	}
+	return sb.String()
+}

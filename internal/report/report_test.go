@@ -1,0 +1,96 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Results", "name", "value")
+	tb.AddRow("coverage", 0.9975)
+	tb.AddRow("cycles", 1720)
+	out := tb.String()
+	if !strings.Contains(out, "Results") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "name") || !strings.Contains(out, "value") {
+		t.Error("headers missing")
+	}
+	if !strings.Contains(out, "0.9975") || !strings.Contains(out, "1720") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+	if !strings.Contains(out, "----") {
+		t.Error("separator missing")
+	}
+}
+
+func TestTableAlignment(t *testing.T) {
+	tb := NewTable("", "a", "long_header")
+	tb.AddRow("x", 1)
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	// Column 2 starts at the same offset in all lines.
+	idx := strings.Index(lines[0], "long_header")
+	if !strings.HasPrefix(lines[2][idx:], "1") {
+		t.Errorf("misaligned:\n%s", tb.String())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("plain", `quote"and,comma`)
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.HasPrefix(out, "a,b\n") {
+		t.Errorf("header record wrong: %q", out)
+	}
+	if !strings.Contains(out, `"quote""and,comma"`) {
+		t.Errorf("quoting wrong: %q", out)
+	}
+}
+
+func TestBarChart(t *testing.T) {
+	b := NewBarChart("Fig 11")
+	b.MaxWidth = 10
+	b.Add("line 1", 0.0, 0.0)
+	b.Add("line 6", 0.5, 1.0)
+	out := b.String()
+	if !strings.Contains(out, "Fig 11") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "#####") {
+		t.Errorf("individual bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, "==========") {
+		t.Errorf("full cumulative bar missing:\n%s", out)
+	}
+	if !strings.Contains(out, "100.0%") || !strings.Contains(out, "50.0%") {
+		t.Errorf("percentages missing:\n%s", out)
+	}
+}
+
+func TestBarChartClamping(t *testing.T) {
+	b := NewBarChart("")
+	b.MaxWidth = 4
+	b.Add("x", -0.5, 1.5)
+	out := b.String()
+	if !strings.Contains(out, "|    |") { // zero-length individual bar
+		t.Errorf("negative value not clamped:\n%s", out)
+	}
+	if !strings.Contains(out, "|====|") {
+		t.Errorf("overflow not clamped:\n%s", out)
+	}
+}
+
+func TestBarChartDefaultWidth(t *testing.T) {
+	b := NewBarChart("")
+	b.Add("y", 1.0, 1.0)
+	if !strings.Contains(b.String(), strings.Repeat("#", 50)) {
+		t.Error("default width not 50")
+	}
+}

@@ -1,0 +1,66 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestFaultMaskingActivations verifies the property the paper highlights
+// about its simulation environment: "a crosstalk defect on the bus is
+// indeed activated many times as the CPU executes the test program", so
+// fault masking is part of the evaluation rather than an idealised
+// single-activation assumption.
+func TestFaultMaskingActivations(t *testing.T) {
+	r := newRunner(t, core.GenConfig{})
+	addr, data, err := DefaultSetups()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	out, err := r.RunDefect(core.AddrBus, singleWireDefect(t, addr, 5, 1.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected {
+		t.Fatal("defect not detected")
+	}
+	// A strong centre-wire defect is excited by far more transitions than
+	// just its own four MA tests.
+	if out.Activations <= 4 {
+		t.Errorf("address defect activated only %d times; expected many incidental activations",
+			out.Activations)
+	}
+	t.Logf("address-bus defect on wire 5: %d activations during the self-test", out.Activations)
+
+	out, err = r.RunDefect(core.DataBus, singleWireDefect(t, data, 4, 1.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Detected {
+		t.Fatal("data defect not detected")
+	}
+	if out.Activations <= 4 {
+		t.Errorf("data defect activated only %d times", out.Activations)
+	}
+
+	// The nominal bus is never activated.
+	clean, err := r.RunDefect(core.AddrBus, addr.Nominal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Activations != 0 {
+		t.Errorf("nominal run recorded %d activations", clean.Activations)
+	}
+}
+
+// TestGoldenRunsHaveNoEvents: golden reference runs are error-free by
+// construction.
+func TestGoldenRunsHaveNoEvents(t *testing.T) {
+	r := newRunner(t, core.GenConfig{})
+	for s := range r.Plan().Programs {
+		if ev := r.Golden(s).Events; ev != 0 {
+			t.Errorf("golden session %d recorded %d crosstalk events", s, ev)
+		}
+	}
+}

@@ -1,0 +1,407 @@
+// Package sim is the system-level defect-simulation environment of the
+// paper's Fig. 9: it executes a generated self-test plan on the CPU-memory
+// system, first on the defect-free (nominal) busses to obtain the golden
+// response signatures, then once per defect from a defect library, and
+// decides detection by comparing the response cells unloaded from memory.
+//
+// Because every defect run executes the complete program through the
+// crosstalk error model, fault masking is modelled exactly as in the paper:
+// a defect is activated many times as the CPU executes the program, and all
+// of its effects — including corrupted fetches that crash or hang the
+// program, which a tester would observe as a timeout — contribute to the
+// outcome.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/crosstalk"
+	"repro/internal/defects"
+	"repro/internal/maf"
+	"repro/internal/parwan"
+	"repro/internal/soc"
+)
+
+// BusSetup bundles one bus's nominal electrical description.
+type BusSetup struct {
+	Nominal    *crosstalk.Params
+	Thresholds crosstalk.Thresholds
+}
+
+// DefaultSetups returns the nominal setups for the paper's 12-bit address
+// bus and 8-bit data bus using the default geometry and threshold factor.
+func DefaultSetups() (addr, data BusSetup, err error) {
+	an := crosstalk.Nominal(parwan.AddrBits)
+	at, err := crosstalk.DeriveThresholds(an, 0)
+	if err != nil {
+		return BusSetup{}, BusSetup{}, err
+	}
+	dn := crosstalk.Nominal(parwan.DataBits)
+	dt, err := crosstalk.DeriveThresholds(dn, 0)
+	if err != nil {
+		return BusSetup{}, BusSetup{}, err
+	}
+	return BusSetup{an, at}, BusSetup{dn, dt}, nil
+}
+
+// RunResult is one program execution's observable outcome.
+type RunResult struct {
+	Responses map[uint16]uint8 // response-cell contents after the run
+	Halted    bool             // reached the halt self-jump
+	ExecErr   error            // illegal opcode (possible under corruption)
+	Steps     int
+	Cycles    uint64
+	// Events counts crosstalk error events on either bus during the run —
+	// how many times the defect was activated. The paper stresses that the
+	// defect "is indeed activated many times as the CPU executes the test
+	// program", which is what makes fault masking part of the simulation.
+	Events int
+}
+
+// Runner executes a self-test plan against nominal or defective busses.
+type Runner struct {
+	plan *core.Plan
+	addr BusSetup
+	data BusSetup
+
+	golden       []RunResult // per session program
+	goldenCycles uint64
+}
+
+// NewRunner builds a runner and executes the golden (defect-free) reference
+// runs. It fails if any golden run does not halt cleanly — a plan whose
+// programs misbehave on a good chip is a generation bug, not a test result.
+func NewRunner(plan *core.Plan, addr, data BusSetup) (*Runner, error) {
+	r := &Runner{plan: plan, addr: addr, data: data}
+	for _, prog := range plan.Programs {
+		res, err := r.runProgram(prog, addr.Nominal, data.Nominal)
+		if err != nil {
+			return nil, err
+		}
+		if !res.Halted || res.ExecErr != nil {
+			return nil, fmt.Errorf("sim: golden run of session %d failed (halted=%v err=%v)",
+				prog.Session, res.Halted, res.ExecErr)
+		}
+		r.golden = append(r.golden, res)
+		r.goldenCycles += res.Cycles
+	}
+	return r, nil
+}
+
+// Plan returns the plan under simulation.
+func (r *Runner) Plan() *core.Plan { return r.plan }
+
+// GoldenCycles returns the total CPU cycles of all golden session runs —
+// the paper's "total execution time of the programs" (1720 cycles for its
+// system).
+func (r *Runner) GoldenCycles() uint64 { return r.goldenCycles }
+
+// Golden returns the golden result of one session.
+func (r *Runner) Golden(session int) RunResult { return r.golden[session] }
+
+// runProgram executes one session program on a system built from the given
+// bus parameter sets (thresholds always come from the nominal setups).
+func (r *Runner) runProgram(prog *core.TestProgram, addrParams, dataParams *crosstalk.Params) (RunResult, error) {
+	addrCh, err := crosstalk.NewChannel(addrParams, r.addr.Thresholds)
+	if err != nil {
+		return RunResult{}, err
+	}
+	dataCh, err := crosstalk.NewChannel(dataParams, r.data.Thresholds)
+	if err != nil {
+		return RunResult{}, err
+	}
+	sys, err := soc.New(soc.Config{AddrChannel: addrCh, DataChannel: dataCh})
+	if err != nil {
+		return RunResult{}, err
+	}
+	sys.LoadImage(prog.Image)
+	sys.CPU.PC = prog.Entry
+
+	steps, execErr := sys.Run(prog.StepLimit)
+	res := RunResult{
+		Responses: make(map[uint16]uint8, len(prog.ResponseCells)),
+		Halted:    sys.CPU.Halted(),
+		ExecErr:   execErr,
+		Steps:     steps,
+		Cycles:    sys.CPU.Cycles,
+		Events:    sys.ErrorCount(),
+	}
+	for _, cell := range prog.ResponseCells {
+		res.Responses[cell] = sys.Peek(cell)
+	}
+	return res, nil
+}
+
+// Outcome is the verdict for one defect.
+type Outcome struct {
+	DefectID int
+	Bus      core.BusID
+	// Detected is true when any session's responses differ from golden or
+	// any session run crashed or hung (a tester-visible failure).
+	Detected bool
+	// Crashed is true when some run ended in an illegal opcode or hit the
+	// step limit (corrupted control flow).
+	Crashed bool
+	// DetectedBy lists the faults whose tests' response cells mismatched,
+	// attributing detection (shared compaction cells attribute to every
+	// test of the group).
+	DetectedBy []maf.Fault
+	// Activations counts crosstalk error events across all session runs —
+	// how many times the defect fired while the programs executed.
+	Activations int
+}
+
+// RunDefect simulates one defective parameter set on the given bus (the
+// other bus stays nominal) across every session program.
+func (r *Runner) RunDefect(bus core.BusID, defective *crosstalk.Params) (Outcome, error) {
+	out := Outcome{Bus: bus}
+	seen := make(map[maf.Fault]bool)
+	for i, prog := range r.plan.Programs {
+		addrParams, dataParams := r.addr.Nominal, r.data.Nominal
+		switch bus {
+		case core.AddrBus:
+			addrParams = defective
+		case core.DataBus:
+			dataParams = defective
+		}
+		res, err := r.runProgram(prog, addrParams, dataParams)
+		if err != nil {
+			return Outcome{}, err
+		}
+		out.Activations += res.Events
+		if !res.Halted || res.ExecErr != nil {
+			out.Detected = true
+			out.Crashed = true
+		}
+		golden := r.golden[i]
+		for _, a := range prog.Applied {
+			mismatch := false
+			for _, cell := range a.ResponseCells {
+				if res.Responses[cell] != golden.Responses[cell] {
+					mismatch = true
+					break
+				}
+			}
+			if mismatch {
+				out.Detected = true
+				if !seen[a.MA.Fault] {
+					seen[a.MA.Fault] = true
+					out.DetectedBy = append(out.DetectedBy, a.MA.Fault)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// CampaignResult aggregates a defect library's outcomes.
+type CampaignResult struct {
+	Bus      core.BusID
+	Total    int
+	Detected int
+	Crashed  int
+	Outcomes []Outcome
+	// PerFault counts, for each applied MA test, the defects it detected —
+	// the basis of per-test coverage.
+	PerFault map[maf.Fault]int
+	// UniqueByFault counts the defects detected by exactly one test,
+	// quantifying the detection-set overlap the paper relies on when 7
+	// address tests are missing yet coverage stays 100%.
+	UniqueByFault map[maf.Fault]int
+}
+
+// Coverage returns the fraction of defects detected.
+func (c *CampaignResult) Coverage() float64 {
+	if c.Total == 0 {
+		return 0
+	}
+	return float64(c.Detected) / float64(c.Total)
+}
+
+// Campaign simulates every defect in the library on the given bus. Defect
+// runs are independent, so they execute on a worker pool; the result is
+// deterministic because outcomes are collected by defect index and
+// aggregated in order.
+func (r *Runner) Campaign(bus core.BusID, lib *defects.Library) (*CampaignResult, error) {
+	res := &CampaignResult{
+		Bus:           bus,
+		Total:         len(lib.Defects),
+		PerFault:      make(map[maf.Fault]int),
+		UniqueByFault: make(map[maf.Fault]int),
+	}
+	outcomes := make([]Outcome, len(lib.Defects))
+	errs := make([]error, len(lib.Defects))
+
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(lib.Defects) {
+		workers = len(lib.Defects)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out, err := r.RunDefect(bus, lib.Defects[i].Params)
+				if err != nil {
+					errs[i] = err
+					continue
+				}
+				out.DefectID = lib.Defects[i].ID
+				outcomes[i] = out
+			}
+		}()
+	}
+	for i := range lib.Defects {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sim: defect %d: %w", i, err)
+		}
+	}
+	for _, out := range outcomes {
+		if out.Detected {
+			res.Detected++
+		}
+		if out.Crashed {
+			res.Crashed++
+		}
+		for _, f := range out.DetectedBy {
+			res.PerFault[f]++
+		}
+		if len(out.DetectedBy) == 1 {
+			res.UniqueByFault[out.DetectedBy[0]]++
+		}
+	}
+	res.Outcomes = outcomes
+	return res, nil
+}
+
+// WirePoint is one bar group of the paper's Fig. 11: the individual and
+// cumulative defect coverage of the MA tests for one interconnect.
+type WirePoint struct {
+	Wire       int
+	Individual float64 // coverage of this wire's tests alone
+	Cumulative float64 // coverage of wires 0..Wire combined
+}
+
+// Fig11Campaign reproduces the paper's Fig. 11 measurement for either bus:
+// for each interconnect, the MA tests for that wire alone are generated
+// into their own program and run against every defect in the library; the
+// individual bar is that program's coverage and the cumulative bar is the
+// union of detections of wires 0..i. Isolating each wire's tests is what
+// the paper's "individual defect coverage obtained by applying each of the
+// MA tests" means — attribution within one combined program would be
+// polluted by incidental activations of strong defects during other tests'
+// traffic.
+func Fig11Campaign(addr, data BusSetup, bus core.BusID, lib *defects.Library, compaction bool) ([]WirePoint, error) {
+	width := addr.Nominal.Width
+	if bus == core.DataBus {
+		width = data.Nominal.Width
+	}
+	total := len(lib.Defects)
+	if total == 0 {
+		return nil, fmt.Errorf("sim: empty defect library")
+	}
+	detected := make([][]bool, width)
+	for w := 0; w < width; w++ {
+		w := w
+		plan, err := core.Generate(core.GenConfig{
+			SkipDataBus: bus == core.AddrBus,
+			SkipAddrBus: bus == core.DataBus,
+			Compaction:  compaction,
+			Filter:      func(f maf.Fault) bool { return f.Victim == w },
+		})
+		if err != nil {
+			return nil, err
+		}
+		detected[w] = make([]bool, total)
+		if len(plan.Programs) == 0 {
+			continue // no applicable test for this wire
+		}
+		r, err := NewRunner(plan, addr, data)
+		if err != nil {
+			return nil, err
+		}
+		for i, d := range lib.Defects {
+			out, err := r.RunDefect(bus, d.Params)
+			if err != nil {
+				return nil, err
+			}
+			detected[w][i] = out.Detected
+		}
+	}
+	points := make([]WirePoint, width)
+	cum := make([]bool, total)
+	cumCount := 0
+	for w := 0; w < width; w++ {
+		ind := 0
+		for i := 0; i < total; i++ {
+			if detected[w][i] {
+				ind++
+				if !cum[i] {
+					cum[i] = true
+					cumCount++
+				}
+			}
+		}
+		points[w] = WirePoint{
+			Wire:       w,
+			Individual: float64(ind) / float64(total),
+			Cumulative: float64(cumCount) / float64(total),
+		}
+	}
+	return points, nil
+}
+
+// Fig11Series computes the per-interconnect individual and cumulative
+// coverage series from a single combined campaign, attributing each defect
+// to the victim wires of the tests that detected it. This is a cheaper
+// approximation of Fig11Campaign: attribution is inflated for wires whose
+// tests happen to observe other wires' strong defects incidentally.
+func Fig11Series(c *CampaignResult, width int) []WirePoint {
+	if c.Total == 0 {
+		return nil
+	}
+	// For each defect, the set of victim wires whose tests detected it.
+	perDefectWires := make([]map[int]bool, len(c.Outcomes))
+	for i, out := range c.Outcomes {
+		wires := make(map[int]bool)
+		for _, f := range out.DetectedBy {
+			wires[f.Victim] = true
+		}
+		perDefectWires[i] = wires
+	}
+	points := make([]WirePoint, width)
+	cumDetected := make([]bool, len(c.Outcomes))
+	cum := 0
+	for w := 0; w < width; w++ {
+		ind := 0
+		for i := range c.Outcomes {
+			if perDefectWires[i][w] {
+				ind++
+				if !cumDetected[i] {
+					cumDetected[i] = true
+					cum++
+				}
+			}
+		}
+		points[w] = WirePoint{
+			Wire:       w,
+			Individual: float64(ind) / float64(c.Total),
+			Cumulative: float64(cum) / float64(c.Total),
+		}
+	}
+	return points
+}

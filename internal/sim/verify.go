@@ -1,0 +1,87 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/crosstalk"
+	"repro/internal/maf"
+	"repro/internal/soc"
+)
+
+// Violation reports one applied test whose MA vector pair never appeared on
+// its bus during a golden execution — a generation bug, caught before any
+// defect simulation trusts the plan.
+type Violation struct {
+	Session int
+	Test    core.AppliedTest
+}
+
+// String renders the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("session %d: %v never drove its vector pair", v.Session, v.Test)
+}
+
+// VerifyPlan executes every session program on the ideal system with
+// tracing and confirms that each applied test's exact MA vector pair occurs
+// as a back-to-back transition on the right bus in the right direction. It
+// returns the tests that failed the check (empty means the plan is sound).
+func VerifyPlan(plan *core.Plan) ([]Violation, error) {
+	var violations []Violation
+	for _, prog := range plan.Programs {
+		sys, err := soc.New(soc.Config{Trace: true})
+		if err != nil {
+			return nil, err
+		}
+		sys.LoadImage(prog.Image)
+		sys.CPU.PC = prog.Entry
+		if _, err := sys.Run(prog.StepLimit); err != nil {
+			return nil, fmt.Errorf("sim: verify session %d: %w", prog.Session, err)
+		}
+		if !sys.CPU.Halted() {
+			return nil, fmt.Errorf("sim: verify session %d: program did not halt", prog.Session)
+		}
+		trace := sys.Trace()
+		for _, a := range prog.Applied {
+			if !pairAppears(trace, a) {
+				violations = append(violations, Violation{Session: prog.Session, Test: a})
+			}
+		}
+	}
+	return violations, nil
+}
+
+func pairAppears(trace []soc.Transaction, a core.AppliedTest) bool {
+	v1 := a.MA.V1.Uint64()
+	v2 := a.MA.V2.Uint64()
+	for _, tr := range trace {
+		switch a.Bus {
+		case core.AddrBus:
+			if uint64(tr.AddrPrev) == v1 && uint64(tr.Addr) == v2 {
+				return true
+			}
+		case core.DataBus:
+			if uint64(tr.DataPrev) == v1 && uint64(tr.Data) == v2 &&
+				tr.Write == (a.MA.Fault.Dir == maf.Reverse) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// VerifyThresholdConsistency checks that the simulation setups' thresholds
+// were derived from their own nominal parameters: the defect-free bus must
+// transfer every MA pattern cleanly, or golden runs would flag good chips.
+func VerifyThresholdConsistency(setup BusSetup, bidirectional bool) error {
+	ch, err := crosstalk.NewChannel(setup.Nominal, setup.Thresholds)
+	if err != nil {
+		return err
+	}
+	for _, mt := range maf.Tests(setup.Nominal.Width, bidirectional) {
+		if !ch.Clean(mt.V1, mt.V2, mt.Fault.Dir) {
+			return fmt.Errorf("sim: nominal bus errs under %v; thresholds inconsistent with parameters", mt.Fault)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parwan"
+)
+
+// TestVerifyPlanSound: the default generation produces a plan with zero
+// violations — every applied test really drives its pair.
+func TestVerifyPlanSound(t *testing.T) {
+	for _, compaction := range []bool{false, true} {
+		plan, err := core.Generate(core.GenConfig{Compaction: compaction})
+		if err != nil {
+			t.Fatal(err)
+		}
+		violations, err := VerifyPlan(plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, v := range violations {
+			t.Errorf("compaction=%v: %v", compaction, v)
+		}
+	}
+}
+
+// TestVerifyPlanCatchesTampering: corrupting a program byte that carries a
+// test's operand makes verification fail (or the program hang, which is
+// also reported).
+func TestVerifyPlanCatchesTampering(t *testing.T) {
+	plan, err := core.Generate(core.GenConfig{SkipAddrBus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := plan.Programs[0]
+	// Corrupt a reverse test's constant cell: the accumulator then carries
+	// the wrong v2, so that test's write-direction pair never appears.
+	// (A forward test's cell would not do: its pair is legitimately
+	// reproduced by the reverse tests' read-back loads.)
+	var cell uint16
+	found := false
+	for _, a := range prog.Applied {
+		if a.Scheme != core.DataReverse {
+			continue
+		}
+		v2 := byte(a.MA.V2.Uint64())
+		for addr := uint16(core.DefaultConstBase); addr < core.DefaultConstBase+0x100; addr++ {
+			if prog.Image.Used(addr) && prog.Image.Get(addr) == v2 {
+				cell = addr
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no constant cell found to tamper with")
+	}
+	// Rebuild the image with the cell flipped. Image pins are write-once,
+	// so reconstruct from bytes.
+	tampered := *prog
+	img := prog.Image.Bytes()
+	img[cell] ^= 0xFF
+	tampered.Image = imageFromBytes(t, img)
+	tamperedPlan := &core.Plan{Programs: []*core.TestProgram{&tampered}}
+	violations, err := VerifyPlan(tamperedPlan)
+	if err != nil {
+		return // program derailment is also a caught failure
+	}
+	if len(violations) == 0 {
+		t.Error("tampered plan verified clean")
+	}
+}
+
+func imageFromBytes(t *testing.T, img []byte) *parwan.Image {
+	t.Helper()
+	im := parwan.NewImage()
+	if err := im.SetBytes(0, img); err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestVerifyThresholdConsistency(t *testing.T) {
+	addr, data, err := DefaultSetups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifyThresholdConsistency(addr, false); err != nil {
+		t.Errorf("address setup inconsistent: %v", err)
+	}
+	if err := VerifyThresholdConsistency(data, true); err != nil {
+		t.Errorf("data setup inconsistent: %v", err)
+	}
+	// Mismatched thresholds (derived for a different geometry) fail.
+	tight := addr.Thresholds
+	tight.Cth = addr.Nominal.MaxNetCoupling() * 0.5
+	tight.GlitchFrac = tight.Cth / (tight.Cg0 + tight.Cth)
+	tight.Slack[0] = tight.Slack[0] / 4
+	tight.Slack[1] = tight.Slack[1] / 4
+	bad := BusSetup{Nominal: addr.Nominal, Thresholds: tight}
+	if err := VerifyThresholdConsistency(bad, false); err == nil {
+		t.Error("inconsistent thresholds passed verification")
+	}
+}

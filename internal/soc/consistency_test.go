@@ -1,0 +1,125 @@
+package soc
+
+import (
+	"testing"
+
+	"repro/internal/crosstalk"
+)
+
+// TestErrorCountMatchesTrace: the system's aggregate error counter equals
+// the number of events recorded in the transaction trace.
+func TestErrorCountMatchesTrace(t *testing.T) {
+	addrCh, dataCh := channels(t, "addr", 5, 1.3)
+	s, err := New(Config{AddrChannel: addrCh, DataChannel: dataCh, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LoadImage(assemble(t, `
+		lda 1:00
+		sta 2:00
+		lda f:df        ; address with heavy wire-5 aggressor activity
+		sta 2:01
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x42
+		.org f:df
+		.byte 0x24
+	`))
+	if _, err := s.Run(200); err != nil {
+		t.Fatal(err)
+	}
+	sum := 0
+	for _, tr := range s.Trace() {
+		sum += len(tr.AddrEvents) + len(tr.DataEvents)
+	}
+	if sum != s.ErrorCount() {
+		t.Errorf("trace events %d != ErrorCount %d", sum, s.ErrorCount())
+	}
+}
+
+// TestBothBusesDefective: defects on both busses at once still produce a
+// consistent, detectable run (the sim package campaigns only perturb one at
+// a time, but the system model must not care).
+func TestBothBusesDefective(t *testing.T) {
+	addrCh, _ := channels(t, "addr", 5, 1.3)
+	_, dataCh := channels(t, "data", 3, 1.3)
+	s, err := New(Config{AddrChannel: addrCh, DataChannel: dataCh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LoadImage(assemble(t, `
+		lda e:00        ; data-bus gp[3] pattern: offset 00 -> data F7
+		sta 2:00
+	halt:	jmp halt
+		.org e:00
+		.byte 0xF7
+	`))
+	if _, err := s.Run(200); err == nil && s.CPU.Halted() {
+		if got := s.Peek(0x200); got == 0xF7 && s.ErrorCount() == 0 {
+			t.Error("doubly-defective system behaved nominally")
+		}
+	}
+	// Either way the run must have terminated or errored without panic —
+	// reaching this line is the assertion.
+}
+
+// TestTraceDisabledByDefault: without Config.Trace no transactions are
+// retained (campaign memory stays flat).
+func TestTraceDisabledByDefault(t *testing.T) {
+	s := NewIdeal()
+	s.LoadImage(assemble(t, `
+		lda 1:00
+	halt:	jmp halt
+		.org 1:00
+		.byte 1
+	`))
+	if _, err := s.Run(50); err != nil {
+		t.Fatal(err)
+	}
+	if s.Trace() != nil {
+		t.Error("trace recorded without Trace config")
+	}
+}
+
+// TestCorruptedOpcodeSurfacesAsError: an address defect that redirects an
+// instruction fetch into data can produce an illegal opcode; the CPU must
+// report it as an error, not panic.
+func TestCorruptedOpcodeSurfacesAsError(t *testing.T) {
+	addrCh, dataCh := channels(t, "addr", 4, 2.5) // gross defect
+	s, err := New(Config{AddrChannel: addrCh, DataChannel: dataCh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A program whose control flow crosses wire-4 transitions frequently.
+	s.LoadImage(assemble(t, `
+	start:	lda 1:ef
+		sta 2:10
+		jmp 0:10
+		.org 0:10
+		lda 1:10
+		jmp start2
+		.org 0:e0
+	start2:	cma
+	halt:	jmp halt
+		.org 1:ef
+		.byte 0xE3      ; illegal opcode as data, in case a fetch lands here
+	`))
+	_, runErr := s.Run(500)
+	_ = runErr // error or clean halt are both acceptable; no panic is the test
+}
+
+// TestChannelAccessors: the configured channels are reachable for analysis.
+func TestChannelAccessors(t *testing.T) {
+	nom := crosstalk.Nominal(12)
+	th, err := crosstalk.DeriveThresholds(nom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := crosstalk.NewChannel(nom, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ch.Params() != nom || ch.Thresholds() != th {
+		t.Error("channel accessors broken")
+	}
+}

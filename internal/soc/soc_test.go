@@ -1,0 +1,370 @@
+package soc
+
+import (
+	"testing"
+
+	"repro/internal/crosstalk"
+	"repro/internal/logic"
+	"repro/internal/maf"
+	"repro/internal/memory"
+	"repro/internal/parwan"
+)
+
+// channels builds (addr, data) channels, optionally with a defect raising
+// one victim wire of one bus above threshold by the given factor.
+func channels(t *testing.T, defectBus string, victim int, factor float64) (*crosstalk.Channel, *crosstalk.Channel) {
+	t.Helper()
+	build := func(width int, defective bool) *crosstalk.Channel {
+		nom := crosstalk.Nominal(width)
+		th, err := crosstalk.DeriveThresholds(nom, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := nom
+		if defective {
+			p = nom.Clone()
+			scale := factor * th.Cth / p.NetCoupling(victim)
+			for j := 0; j < width; j++ {
+				if j != victim {
+					p.Cc[victim][j] *= scale
+					p.Cc[j][victim] *= scale
+				}
+			}
+		}
+		ch, err := crosstalk.NewChannel(p, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ch
+	}
+	return build(parwan.AddrBits, defectBus == "addr"),
+		build(parwan.DataBits, defectBus == "data")
+}
+
+func assemble(t *testing.T, src string) *parwan.Image {
+	t.Helper()
+	im, _, err := parwan.AssembleString(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return im
+}
+
+func TestIdealSystemRunsPrograms(t *testing.T) {
+	s := NewIdeal()
+	s.LoadImage(assemble(t, `
+		lda 1:00
+		sta 2:00
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x77
+	`))
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if !s.CPU.Halted() {
+		t.Fatal("did not halt")
+	}
+	if got := s.Peek(0x200); got != 0x77 {
+		t.Errorf("mem[2:00] = %02x, want 77", got)
+	}
+	if s.ErrorCount() != 0 {
+		t.Errorf("ideal system reported %d errors", s.ErrorCount())
+	}
+}
+
+func TestNominalChannelsAreTransparent(t *testing.T) {
+	addrCh, dataCh := channels(t, "", 0, 0)
+	s, err := New(Config{AddrChannel: addrCh, DataChannel: dataCh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LoadImage(assemble(t, `
+		lda 1:00
+		cma
+		sta 2:00
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x0F
+	`))
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Peek(0x200); got != 0xF0 {
+		t.Errorf("mem[2:00] = %02x, want f0", got)
+	}
+	if s.ErrorCount() != 0 {
+		t.Errorf("nominal system reported %d errors", s.ErrorCount())
+	}
+}
+
+// TestDataBusDefectCorruptsLoad reproduces §4.1: a positive-glitch defect on
+// data wire 3 corrupts a load whose offset byte is 00000000 and data
+// 11110111 — the CPU receives 11111111.
+func TestDataBusDefectCorruptsLoad(t *testing.T) {
+	addrCh, dataCh := channels(t, "data", 3, 1.3)
+	s, err := New(Config{AddrChannel: addrCh, DataChannel: dataCh, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// lda e:00 placed so its offset byte (00) is the v1 on the data bus and
+	// the loaded data (F7) is v2.
+	s.LoadImage(assemble(t, `
+		lda e:00
+		sta 2:00
+	halt:	jmp halt
+		.org e:00
+		.byte 0xF7
+	`))
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Peek(0x200); got != 0xFF {
+		t.Errorf("response = %02x, want ff (glitched load)", got)
+	}
+	if s.ErrorCount() == 0 {
+		t.Error("no crosstalk events recorded")
+	}
+}
+
+// TestAddressBusDefectRedirectsAccess: a corrupted address delivers the read
+// to the wrong location (§3.2 / Fig. 3).
+func TestAddressBusDefectRedirectsAccess(t *testing.T) {
+	addrCh, dataCh := channels(t, "addr", 4, 1.3)
+	s, err := New(Config{AddrChannel: addrCh, DataChannel: dataCh, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Falling-delay MA pair on address wire 4: v1 = 0000:00010000,
+	// v2 = 1111:11101111. Place the instruction at v1-1 so its second byte
+	// sits at v1, and load from v2. Under the defect the access lands at
+	// 1111:11111111.
+	s.LoadImage(assemble(t, `
+		jmp 0:0f
+		.org 0:0f
+		lda f:ef
+		sta 2:00
+	halt:	jmp halt
+		.org f:ef
+		.byte 0x01
+		.org f:ff
+		.byte 0x00
+	`))
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Peek(0x200); got != 0x00 {
+		t.Errorf("response = %02x, want 00 (read redirected to f:ff)", got)
+	}
+}
+
+func TestWriteRedirection(t *testing.T) {
+	// With an address defect, a write can land in the wrong cell. Drive the
+	// MA falling-delay pair with a store: instruction byte 2 at v1, target
+	// v2.
+	addrCh, dataCh := channels(t, "addr", 4, 1.3)
+	s, err := New(Config{AddrChannel: addrCh, DataChannel: dataCh})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LoadImage(assemble(t, `
+		cma
+		jmp 0:0f
+		.org 0:0f
+		sta f:ef
+	halt:	jmp halt
+	`))
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Peek(0xFFF); got != 0xFF {
+		t.Errorf("mem[f:ff] = %02x, want ff (write redirected)", got)
+	}
+	if got := s.Peek(0xFEF); got == 0xFF {
+		t.Error("write also landed at the intended address")
+	}
+}
+
+func TestTraceRecording(t *testing.T) {
+	s, err := New(Config{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LoadImage(assemble(t, `
+		lda 1:00
+	halt:	jmp halt
+		.org 1:00
+		.byte 0x42
+	`))
+	if _, err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	tr := s.Trace()
+	// lda: 3 reads; jmp (executed twice: once jumping, once detected as
+	// halt... halt executes once): 2 reads each.
+	if len(tr) < 5 {
+		t.Fatalf("trace too short: %d", len(tr))
+	}
+	if tr[0].Write || tr[0].Addr != 0 {
+		t.Errorf("first transaction = %+v", tr[0])
+	}
+	// The operand read of the lda.
+	if tr[2].Addr != 0x100 || tr[2].Data != 0x42 {
+		t.Errorf("operand read = %+v", tr[2])
+	}
+	// Sequence numbers are ascending.
+	for i := 1; i < len(tr); i++ {
+		if tr[i].Seq <= tr[i-1].Seq {
+			t.Fatal("trace sequence not ascending")
+		}
+	}
+	// Hold-last-value: the second transaction's AddrPrev is the first's
+	// driven address.
+	if tr[1].AddrPrev != tr[0].Addr {
+		t.Errorf("AddrPrev = %03x, want %03x", tr[1].AddrPrev, tr[0].Addr)
+	}
+}
+
+func TestTransactionString(t *testing.T) {
+	tr := Transaction{Seq: 3, Addr: 0x123, AddrRecv: 0x123, Data: 0x42, DataRecv: 0x42}
+	if got := tr.String(); got != "#3 R 123 42" {
+		t.Errorf("clean read String = %q", got)
+	}
+	tr = Transaction{Seq: 4, Write: true, Addr: 0x123, AddrRecv: 0x133, Data: 0x42, DataRecv: 0x40}
+	if got := tr.String(); got != "#4 W 123->133! 42->40!" {
+		t.Errorf("corrupted write String = %q", got)
+	}
+	if !tr.Corrupted() {
+		// Corrupted is defined by events, not values; construct one.
+		tr.AddrEvents = []crosstalk.Event{{Wire: 4, Kind: maf.PositiveGlitch}}
+	}
+	if !tr.Corrupted() {
+		t.Error("Corrupted() = false with events present")
+	}
+}
+
+func TestPeripheralRouting(t *testing.T) {
+	rf := memory.NewRegisterFile(16)
+	s, err := New(Config{Peripherals: []Region{{Base: 0xF00, Dev: rf}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rf.Poke(2, 0x5A)
+	s.LoadImage(assemble(t, `
+		lda f:02        ; memory-mapped register read
+		sta 2:00
+		lda 1:00
+		sta f:05        ; memory-mapped register write
+	halt:	jmp halt
+		.org 1:00
+		.byte 0xA5
+	`))
+	// LoadImage wrote the image into RAM only; registers keep their values.
+	if _, err := s.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Peek(0x200); got != 0x5A {
+		t.Errorf("register read stored %02x, want 5a", got)
+	}
+	if got := rf.Peek(5); got != 0xA5 {
+		t.Errorf("register 5 = %02x, want a5", got)
+	}
+	if rf.ReadCount == 0 || rf.WriteCount == 0 {
+		t.Error("peripheral access counters untouched")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	nom := crosstalk.Nominal(8)
+	th, err := crosstalk.DeriveThresholds(nom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch8, err := crosstalk.NewChannel(nom, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{AddrChannel: ch8}); err == nil {
+		t.Error("8-wire address channel accepted")
+	}
+	nom12 := crosstalk.Nominal(12)
+	th12, err := crosstalk.DeriveThresholds(nom12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch12, err := crosstalk.NewChannel(nom12, th12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(Config{DataChannel: ch12}); err == nil {
+		t.Error("12-wire data channel accepted")
+	}
+	if _, err := New(Config{Peripherals: []Region{{Base: 0, Dev: nil}}}); err == nil {
+		t.Error("nil peripheral accepted")
+	}
+	if _, err := New(Config{Peripherals: []Region{{Base: 0xFFF, Dev: memory.NewRAM(16)}}}); err == nil {
+		t.Error("overflowing peripheral accepted")
+	}
+	if _, err := New(Config{Peripherals: []Region{
+		{Base: 0x100, Dev: memory.NewRAM(32)},
+		{Base: 0x110, Dev: memory.NewRAM(32)},
+	}}); err == nil {
+		t.Error("overlapping peripherals accepted")
+	}
+}
+
+func TestPokePeek(t *testing.T) {
+	s := NewIdeal()
+	s.Poke(0x3FF, 0x99)
+	if got := s.Peek(0x3FF); got != 0x99 {
+		t.Errorf("Peek = %02x", got)
+	}
+}
+
+// TestHoldLastValueSemantics: consecutive bus transactions form vector pairs
+// from the previously driven values, which is the mechanism the whole test
+// methodology rides on (paper Fig. 5: "the bus holds the last defined value
+// before z").
+func TestHoldLastValueSemantics(t *testing.T) {
+	s, err := New(Config{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LoadImage(assemble(t, `
+		lda 1:10
+		lda 2:20
+	halt:	jmp halt
+		.org 1:10
+		.byte 0xAA
+		.org 2:20
+		.byte 0xBB
+	`))
+	if _, err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	tr := s.Trace()
+	// Transactions: [0] fetch 000, [1] fetch 001, [2] read 110,
+	// [3] fetch 002, [4] fetch 003, [5] read 220, ...
+	if tr[3].AddrPrev != 0x110 {
+		t.Errorf("fetch after operand read starts from %03x, want 110", tr[3].AddrPrev)
+	}
+	if tr[3].DataPrev != 0xAA {
+		t.Errorf("data bus held %02x, want aa", tr[3].DataPrev)
+	}
+	if tr[5].Addr != 0x220 || tr[5].Data != 0xBB {
+		t.Errorf("second operand read = %+v", tr[5])
+	}
+}
+
+// TestReadWritesGoThroughBusInterface: the System satisfies parwan.Bus.
+var _ parwan.Bus = (*System)(nil)
+
+// TestDirectBusAccess exercises Read/Write directly as the CPU would.
+func TestDirectBusAccess(t *testing.T) {
+	s := NewIdeal()
+	s.Write(logic.NewWord(0x155, parwan.AddrBits), logic.NewWord(0x66, parwan.DataBits))
+	got := s.Read(logic.NewWord(0x155, parwan.AddrBits))
+	if got.Uint64() != 0x66 {
+		t.Errorf("read back %02x", got.Uint64())
+	}
+}

@@ -1,0 +1,139 @@
+// Package tester models the external-tester baseline of the paper's
+// introduction: maximum-aggressor vectors applied from chip pins at the
+// tester's own frequency. Crosstalk testing is timing testing, so the
+// tester's speed matters:
+//
+//   - Glitch errors depend only on the coupled charge and are caught at any
+//     application speed.
+//   - Delay errors are caught only when the sampling window matches the
+//     system's operational clock. A tester running at a fraction of the
+//     system speed samples proportionally later, so marginal delay defects
+//     — precisely the ones the paper targets — escape.
+//
+// The package quantifies the escape rate as a function of the
+// tester-to-system speed ratio and provides the cost model behind the
+// paper's "prohibitively expensive" remark: tester cost grows superlinearly
+// with frequency.
+package tester
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/crosstalk"
+	"repro/internal/defects"
+	"repro/internal/maf"
+)
+
+// External is an external tester applying MA patterns to one bus.
+type External struct {
+	nominalTh     crosstalk.Thresholds
+	width         int
+	bidirectional bool
+	// SpeedRatio is tester frequency / system frequency, in (0, 1].
+	SpeedRatio float64
+}
+
+// New builds an external tester model. speedRatio must be in (0, 1].
+func New(th crosstalk.Thresholds, width int, bidirectional bool, speedRatio float64) (*External, error) {
+	if err := th.Validate(); err != nil {
+		return nil, err
+	}
+	if speedRatio <= 0 || speedRatio > 1 {
+		return nil, fmt.Errorf("tester: speed ratio %g outside (0, 1]", speedRatio)
+	}
+	return &External{nominalTh: th, width: width, bidirectional: bidirectional, SpeedRatio: speedRatio}, nil
+}
+
+// effectiveThresholds scales the sampling slack by the inverse speed ratio:
+// a tester at half speed samples twice as late, so only delays exceeding
+// twice the at-speed slack are observed.
+func (x *External) effectiveThresholds() crosstalk.Thresholds {
+	th := x.nominalTh
+	for d := range th.Slack {
+		th.Slack[d] /= x.SpeedRatio
+	}
+	return th
+}
+
+// Detects reports whether the tester catches the defect at its speed.
+func (x *External) Detects(defective *crosstalk.Params) (bool, error) {
+	ch, err := crosstalk.NewChannel(defective, x.effectiveThresholds())
+	if err != nil {
+		return false, err
+	}
+	for _, mt := range maf.Tests(x.width, x.bidirectional) {
+		if !ch.Clean(mt.V1, mt.V2, mt.Fault.Dir) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Analysis summarises an external-test campaign.
+type Analysis struct {
+	SpeedRatio float64
+	Total      int
+	Detected   int
+	// Escapes counts defects detectable at-speed but missed at the tester's
+	// speed.
+	Escapes int
+}
+
+// Coverage returns the detected fraction.
+func (a Analysis) Coverage() float64 {
+	if a.Total == 0 {
+		return 0
+	}
+	return float64(a.Detected) / float64(a.Total)
+}
+
+// Campaign applies the MA patterns to every defect in the library at the
+// tester's speed and counts at-speed-detectable escapes.
+func (x *External) Campaign(lib *defects.Library) (Analysis, error) {
+	atSpeed, err := New(x.nominalTh, x.width, x.bidirectional, 1.0)
+	if err != nil {
+		return Analysis{}, err
+	}
+	a := Analysis{SpeedRatio: x.SpeedRatio, Total: len(lib.Defects)}
+	for _, d := range lib.Defects {
+		det, err := x.Detects(d.Params)
+		if err != nil {
+			return Analysis{}, err
+		}
+		if det {
+			a.Detected++
+			continue
+		}
+		ref, err := atSpeed.Detects(d.Params)
+		if err != nil {
+			return Analysis{}, err
+		}
+		if ref {
+			a.Escapes++
+		}
+	}
+	return a, nil
+}
+
+// CostModel captures the paper's economics: automated-test-equipment cost
+// grows superlinearly with pin speed. The constants are representative of
+// published late-1990s ATE pricing; only the growth shape matters.
+type CostModel struct {
+	BaseCost     float64 // cost of a low-speed tester (arbitrary units)
+	RefFrequency float64 // Hz at which BaseCost applies
+	Exponent     float64 // cost ~ (f/ref)^Exponent above ref
+}
+
+// DefaultCostModel returns a representative ATE cost curve.
+func DefaultCostModel() CostModel {
+	return CostModel{BaseCost: 1.0, RefFrequency: 100e6, Exponent: 1.8}
+}
+
+// Cost returns the relative cost of a tester running at frequency f.
+func (m CostModel) Cost(f float64) float64 {
+	if f <= m.RefFrequency {
+		return m.BaseCost
+	}
+	return m.BaseCost * math.Pow(f/m.RefFrequency, m.Exponent)
+}

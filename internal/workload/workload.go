@@ -1,0 +1,173 @@
+// Package workload generates random functional programs for the Parwan
+// system and measures the crosstalk stress their bus traffic produces. It
+// quantifies the premise behind the paper's over-testing argument (§1):
+// functional-mode traffic does not necessarily exercise the worst-case
+// (maximum aggressor) patterns, so a defect that only errs under test-mode
+// patterns never disturbs the operating system.
+//
+// For each bus transition observed while a workload executes, the nominal
+// crosstalk model's analogue response is evaluated, and the per-wire maxima
+// are compared against the maximum-aggressor stress (the value the MA test
+// produces). A stress ratio below 1 on some wire means functional traffic
+// leaves headroom there that only explicit MA tests (or a BIST) can close.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/crosstalk"
+	"repro/internal/logic"
+	"repro/internal/maf"
+	"repro/internal/parwan"
+	"repro/internal/soc"
+)
+
+// Config controls random program generation.
+type Config struct {
+	// Instructions is the straight-line program length; zero selects 64.
+	Instructions int
+	// DataPages lists the pages operand addresses are drawn from; nil
+	// selects pages 8..11.
+	DataPages []int
+	// Entry is the program start; zero selects 0x040.
+	Entry uint16
+}
+
+func (c *Config) defaults() {
+	if c.Instructions == 0 {
+		c.Instructions = 64
+	}
+	if c.DataPages == nil {
+		c.DataPages = []int{8, 9, 10, 11}
+	}
+	if c.Entry == 0 {
+		c.Entry = 0x040
+	}
+}
+
+// RandomProgram builds a terminating straight-line program of random
+// memory and ALU instructions with random operand addresses and random
+// seeded data, ending in the conventional halt self-jump.
+func RandomProgram(rng *rand.Rand, cfg Config) (*parwan.Image, uint16, error) {
+	cfg.defaults()
+	im := parwan.NewImage()
+	cursor := cfg.Entry
+	memOps := []parwan.Op{parwan.LDA, parwan.ADD, parwan.AND, parwan.SUB, parwan.STA}
+	aluOps := []parwan.Op{parwan.CLA, parwan.CMA, parwan.ASL, parwan.ASR, parwan.NOP}
+	for i := 0; i < cfg.Instructions; i++ {
+		var in parwan.Instruction
+		if rng.Intn(100) < 70 {
+			page := cfg.DataPages[rng.Intn(len(cfg.DataPages))]
+			target := uint16(page)<<8 | uint16(rng.Intn(parwan.PageSize))
+			in = parwan.Instruction{Op: memOps[rng.Intn(len(memOps))], Target: target}
+			// Seed loads' operands with random data where the cell is new.
+			if in.Op != parwan.STA && !im.Used(target) {
+				if err := im.Set(target, byte(rng.Intn(256))); err != nil {
+					return nil, 0, err
+				}
+			}
+		} else {
+			in = parwan.Instruction{Op: aluOps[rng.Intn(len(aluOps))]}
+		}
+		next, err := im.SetInstruction(cursor, in)
+		if err != nil {
+			return nil, 0, err
+		}
+		cursor = next
+	}
+	if _, err := im.SetInstruction(cursor, parwan.Instruction{Op: parwan.JMP, Target: cursor}); err != nil {
+		return nil, 0, err
+	}
+	return im, cfg.Entry, nil
+}
+
+// Stats is the per-bus stress summary of a workload execution.
+type Stats struct {
+	Transitions int
+	// MaxGlitchRatio and MaxDelayRatio hold, per wire, the worst observed
+	// analogue stress relative to the error thresholds (1.0 = would err).
+	MaxGlitchRatio []float64
+	MaxDelayRatio  []float64
+}
+
+// worst updates the per-wire maxima from one transition.
+func (s *Stats) worst(ch *crosstalk.Channel, v1, v2 logic.Word, dir maf.Direction) {
+	th := ch.Thresholds()
+	for w, wa := range ch.Analyze(v1, v2, dir) {
+		if g := wa.GlitchFrac / th.GlitchFrac; g > s.MaxGlitchRatio[w] {
+			s.MaxGlitchRatio[w] = g
+		}
+		if d := wa.Delay / th.Slack[dir]; wa.Transition.IsEdge() && d > s.MaxDelayRatio[w] {
+			s.MaxDelayRatio[w] = d
+		}
+	}
+	s.Transitions++
+}
+
+// Measure executes the program on the ideal system and evaluates every
+// observed bus transition against the nominal crosstalk model of the chosen
+// bus.
+func Measure(im *parwan.Image, entry uint16, steps int, bus string,
+	nominal *crosstalk.Params, th crosstalk.Thresholds) (Stats, error) {
+	ch, err := crosstalk.NewChannel(nominal, th)
+	if err != nil {
+		return Stats{}, err
+	}
+	sys, err := soc.New(soc.Config{Trace: true})
+	if err != nil {
+		return Stats{}, err
+	}
+	sys.LoadImage(im)
+	sys.CPU.PC = entry
+	if _, err := sys.Run(steps); err != nil {
+		return Stats{}, err
+	}
+	if !sys.CPU.Halted() {
+		return Stats{}, fmt.Errorf("workload: program did not halt within %d steps", steps)
+	}
+	width := nominal.Width
+	stats := Stats{
+		MaxGlitchRatio: make([]float64, width),
+		MaxDelayRatio:  make([]float64, width),
+	}
+	for _, tr := range sys.Trace() {
+		switch bus {
+		case "addr":
+			v1 := logic.NewWord(uint64(tr.AddrPrev), parwan.AddrBits)
+			v2 := logic.NewWord(uint64(tr.Addr), parwan.AddrBits)
+			stats.worst(ch, v1, v2, maf.Forward)
+		case "data":
+			v1 := logic.NewWord(uint64(tr.DataPrev), parwan.DataBits)
+			v2 := logic.NewWord(uint64(tr.Data), parwan.DataBits)
+			dir := maf.Forward
+			if tr.Write {
+				dir = maf.Reverse
+			}
+			stats.worst(ch, v1, v2, dir)
+		default:
+			return Stats{}, fmt.Errorf("workload: unknown bus %q", bus)
+		}
+	}
+	return stats, nil
+}
+
+// Headroom returns the per-wire fraction of worst-case stress that the
+// workload never reached: 1 - max(observed ratio), floored at zero. Wires
+// with positive headroom are exactly where test-mode-only patterns
+// over-test.
+func (s Stats) Headroom() []float64 {
+	out := make([]float64, len(s.MaxGlitchRatio))
+	for w := range out {
+		worst := s.MaxGlitchRatio[w]
+		if s.MaxDelayRatio[w] > worst {
+			worst = s.MaxDelayRatio[w]
+		}
+		h := 1 - worst
+		if h < 0 {
+			h = 0
+		}
+		out[w] = h
+	}
+	return out
+}

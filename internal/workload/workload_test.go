@@ -1,0 +1,131 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/crosstalk"
+	"repro/internal/parwan"
+)
+
+func TestRandomProgramTerminates(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 20; trial++ {
+		im, entry, err := RandomProgram(rng, Config{Instructions: 40})
+		if err != nil {
+			t.Fatal(err)
+		}
+		nom := crosstalk.Nominal(parwan.AddrBits)
+		th, err := crosstalk.DeriveThresholds(nom, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Measure(im, entry, 500, "addr", nom, th); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestRandomProgramDeterministic(t *testing.T) {
+	a, _, err := RandomProgram(rand.New(rand.NewSource(7)), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := RandomProgram(rand.New(rand.NewSource(7)), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ab, bb := a.Bytes(), b.Bytes()
+	for i := range ab {
+		if ab[i] != bb[i] {
+			t.Fatalf("images differ at %03x", i)
+		}
+	}
+}
+
+// TestNominalWorkloadIsSafe: on the defect-free bus, no functional
+// transition reaches the error thresholds (ratios stay below 1) — good
+// chips pass their own workloads.
+func TestNominalWorkloadIsSafe(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	im, entry, err := RandomProgram(rng, Config{Instructions: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bus := range []string{"addr", "data"} {
+		width := parwan.AddrBits
+		if bus == "data" {
+			width = parwan.DataBits
+		}
+		nom := crosstalk.Nominal(width)
+		th, err := crosstalk.DeriveThresholds(nom, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, err := Measure(im, entry, 1000, bus, nom, th)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Transitions == 0 {
+			t.Fatalf("%s: no transitions measured", bus)
+		}
+		for w := range stats.MaxGlitchRatio {
+			if stats.MaxGlitchRatio[w] >= 1 || stats.MaxDelayRatio[w] >= 1 {
+				t.Errorf("%s wire %d: nominal stress reached threshold (g=%.2f d=%.2f)",
+					bus, w, stats.MaxGlitchRatio[w], stats.MaxDelayRatio[w])
+			}
+		}
+	}
+}
+
+// TestHeadroomExists: random functional traffic leaves measurable headroom
+// on at least some wires — the over-testing premise.
+func TestHeadroomExists(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	im, entry, err := RandomProgram(rng, Config{Instructions: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nom := crosstalk.Nominal(parwan.AddrBits)
+	th, err := crosstalk.DeriveThresholds(nom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Measure(im, entry, 1000, "addr", nom, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	head := stats.Headroom()
+	if len(head) != parwan.AddrBits {
+		t.Fatalf("headroom length %d", len(head))
+	}
+	positive := 0
+	for _, h := range head {
+		if h < 0 || h > 1 {
+			t.Fatalf("headroom out of range: %v", head)
+		}
+		if h > 0.02 {
+			positive++
+		}
+	}
+	if positive == 0 {
+		t.Error("no wire has functional headroom; over-testing premise would be vacuous")
+	}
+	t.Logf("address-bus functional headroom per wire: %.2f", head)
+}
+
+func TestMeasureRejectsUnknownBus(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	im, entry, err := RandomProgram(rng, Config{Instructions: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nom := crosstalk.Nominal(8)
+	th, err := crosstalk.DeriveThresholds(nom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Measure(im, entry, 100, "ctrl", nom, th); err == nil {
+		t.Error("unknown bus accepted")
+	}
+}
