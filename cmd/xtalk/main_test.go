@@ -1,0 +1,110 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected into a buffer and returns what
+// it printed alongside fn's error (the command's "exit status").
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	outc := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		io.Copy(&buf, r)
+		outc <- buf.String()
+	}()
+	runErr := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-outc
+	r.Close()
+	return out, runErr
+}
+
+func TestCmdGenSmoke(t *testing.T) {
+	out, err := capture(t, func() error { return cmdGen(nil) })
+	if err != nil {
+		t.Fatalf("gen failed: %v", err)
+	}
+	for _, want := range []string{
+		"Self-test plan",
+		"data", "addr",
+		"Session programs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("gen output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdGenVerify(t *testing.T) {
+	out, err := capture(t, func() error { return cmdGen([]string{"-verify"}) })
+	if err != nil {
+		t.Fatalf("gen -verify failed: %v", err)
+	}
+	if !strings.Contains(out, "verify: every applied test drives its MA vector pair") {
+		t.Errorf("gen -verify did not report a clean plan:\n%s", out)
+	}
+	if strings.Contains(out, "verify FAILED") {
+		t.Errorf("gen -verify reported violations:\n%s", out)
+	}
+}
+
+func TestCmdDefectsSmoke(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdDefects([]string{"-bus", "addr", "-size", "25", "-seed", "3"})
+	})
+	if err != nil {
+		t.Fatalf("defects failed: %v", err)
+	}
+	for _, want := range []string{
+		"25 defects on the addr bus",
+		"Over-threshold victims per wire",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("defects output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdDefectsBadBus(t *testing.T) {
+	_, err := capture(t, func() error {
+		return cmdDefects([]string{"-bus", "ctrl"})
+	})
+	if err == nil {
+		t.Fatal("defects accepted an unknown bus")
+	}
+}
+
+func TestCmdSimSmoke(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdSim([]string{"-bus", "addr", "-size", "20", "-seed", "7"})
+	})
+	if err != nil {
+		t.Fatalf("sim failed: %v", err)
+	}
+	for _, want := range []string{
+		"campaign: addr bus, 20 defects",
+		"coverage:",
+		"golden execution time:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim output missing %q:\n%s", want, out)
+		}
+	}
+	// The paper's headline result at this scale: full coverage.
+	if !strings.Contains(out, "coverage: 20/20 = 100.00%") {
+		t.Errorf("sim did not report full coverage:\n%s", out)
+	}
+}

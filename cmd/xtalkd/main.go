@@ -1,0 +1,83 @@
+// Command xtalkd is the campaign job daemon: an HTTP/JSON service that
+// accepts defect-simulation campaign specs, schedules them on a bounded
+// worker pool shared across jobs, and serves status, progress streams,
+// results, metrics and cancellation. See internal/campaign for the API.
+//
+// Usage:
+//
+//	xtalkd [-addr :8080] [-workers N] [-drain-timeout 30s]
+//
+// On SIGINT/SIGTERM the daemon stops accepting work and drains in-flight
+// jobs; jobs still running when the drain timeout expires are cancelled
+// (their checkpoints allow a later resume).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "shared defect-run worker pool size (0 = GOMAXPROCS)")
+	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight jobs on shutdown")
+	flag.Parse()
+
+	if err := run(*addr, *workers, *drainTimeout); err != nil {
+		fmt.Fprintln(os.Stderr, "xtalkd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, workers int, drainTimeout time.Duration) error {
+	mgr := campaign.New(campaign.Config{Workers: workers})
+	srv := &http.Server{
+		Addr:    addr,
+		Handler: campaign.NewServer(mgr),
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("xtalkd: listening on %s (%d workers)", addr, mgr.Workers())
+		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+
+	log.Printf("xtalkd: signal received; draining (timeout %s)", drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("xtalkd: http shutdown: %v", err)
+	}
+	if err := mgr.Drain(shutdownCtx); err != nil {
+		log.Printf("xtalkd: drain timed out; cancelling in-flight jobs")
+		mgr.CancelAll()
+		finalCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel2()
+		if err := mgr.Drain(finalCtx); err != nil {
+			return fmt.Errorf("jobs did not stop: %w", err)
+		}
+	}
+	log.Printf("xtalkd: drained; bye")
+	return nil
+}

@@ -1,0 +1,131 @@
+// Example campaign_service demonstrates the service tier end to end: it
+// starts the xtalkd HTTP API in-process on a loopback port, submits an
+// address-bus campaign, streams progress, fetches the JSON result, and shows
+// that a resubmission of the same spec hits the golden-runner and
+// defect-library caches.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/campaign"
+)
+
+func main() {
+	mgr := campaign.New(campaign.Config{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: campaign.NewServer(mgr)}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Println("xtalkd API serving on", base)
+
+	spec := `{"bus":"addr","size":120,"seed":1,"target_only":true}`
+	fmt.Printf("\nPOST /v1/campaigns  %s\n", spec)
+	resp, err := http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var st struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	decodeInto(resp, &st)
+	fmt.Println("accepted as job", st.ID)
+
+	// Stream progress events until the job finishes.
+	fmt.Printf("\nGET /v1/campaigns/%s/watch\n", st.ID)
+	watch, err := http.Get(base + "/v1/campaigns/" + st.ID + "/watch")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc := bufio.NewScanner(watch.Body)
+	for sc.Scan() {
+		var p struct {
+			State    string `json:"state"`
+			Done     int    `json:"done"`
+			Total    int    `json:"total"`
+			Detected int    `json:"detected"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-8s %4d/%4d done, %4d detected\n", p.State, p.Done, p.Total, p.Detected)
+	}
+	watch.Body.Close()
+
+	fmt.Printf("\nGET /v1/campaigns/%s/result\n", st.ID)
+	res, err := http.Get(base + "/v1/campaigns/" + st.ID + "/result")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var result struct {
+		Bus      string  `json:"bus"`
+		Total    int     `json:"total"`
+		Detected int     `json:"detected"`
+		Coverage float64 `json:"coverage"`
+	}
+	body, _ := io.ReadAll(res.Body)
+	res.Body.Close()
+	if err := json.Unmarshal(body, &result); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  %s bus: %d/%d defects detected (%.1f%% coverage), %d bytes of JSON\n",
+		result.Bus, result.Detected, result.Total, result.Coverage*100, len(body))
+
+	// Resubmit the same spec: the golden runner and the defect library are
+	// cached, so the job costs only the defect runs themselves.
+	fmt.Println("\nPOST /v1/campaigns (same spec again)")
+	resp, err = http.Post(base+"/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		log.Fatal(err)
+	}
+	decodeInto(resp, &st)
+	for {
+		stat, err := http.Get(base + "/v1/campaigns/" + st.ID)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var s struct {
+			State        string `json:"state"`
+			GoldenCached bool   `json:"golden_cached"`
+			LibCached    bool   `json:"library_cached"`
+		}
+		decodeInto(stat, &s)
+		if s.State == "done" {
+			fmt.Printf("  job %s done; golden cache hit: %v, library cache hit: %v\n",
+				st.ID, s.GoldenCached, s.LibCached)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	metrics, err := http.Get(base + "/metrics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nGET /metrics")
+	b, _ := io.ReadAll(metrics.Body)
+	metrics.Body.Close()
+	for _, line := range bytes.Split(bytes.TrimSpace(b), []byte("\n")) {
+		fmt.Println(" ", string(line))
+	}
+}
+
+func decodeInto(resp *http.Response, v any) {
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		log.Fatal(err)
+	}
+}

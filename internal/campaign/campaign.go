@@ -1,0 +1,704 @@
+// Package campaign is the job service tier above internal/sim: it accepts
+// defect-simulation campaign specs, schedules them on a bounded worker pool
+// shared across jobs, caches golden runners and defect libraries so repeated
+// submissions do not recompute them, checkpoints per-defect outcomes so an
+// interrupted job resumes where it stopped, and publishes progress events to
+// subscribers. cmd/xtalkd exposes it over HTTP.
+//
+// Determinism is preserved end to end: a campaign run through the service
+// produces exactly the result of a direct sim.Runner.Campaign call with the
+// same spec, because per-defect runs are pure functions of (plan, bus
+// parameters) and aggregation is shared (sim.Aggregate, index order).
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/crosstalk"
+	"repro/internal/defects"
+	"repro/internal/parwan"
+	"repro/internal/sim"
+)
+
+// Spec describes one campaign job: which bus to attack, how to obtain the
+// self-test plan (an inline plan document or a generation config), and the
+// defect library to simulate.
+type Spec struct {
+	// Bus is the bus under test: "addr" or "data".
+	Bus string `json:"bus"`
+	// Plan, when present, is an inline plan document (core.WritePlan form)
+	// to run instead of generating one.
+	Plan json.RawMessage `json:"plan,omitempty"`
+	// Compaction, MaxSessions and TargetOnly configure plan generation when
+	// Plan is absent. TargetOnly restricts generation to the target bus's
+	// tests (a smaller, faster plan).
+	Compaction  bool `json:"compaction,omitempty"`
+	MaxSessions int  `json:"max_sessions,omitempty"`
+	TargetOnly  bool `json:"target_only,omitempty"`
+	// Size, Sigma and Seed configure defect-library generation; zero Size
+	// and Sigma select the paper's defaults (1000 defects, sigma 0.50).
+	Size  int     `json:"size,omitempty"`
+	Sigma float64 `json:"sigma,omitempty"`
+	Seed  int64   `json:"seed"`
+	// CthFactor overrides the detectability-threshold factor; zero selects
+	// the default (1.55).
+	CthFactor float64 `json:"cth_factor,omitempty"`
+	// Workers caps this job's concurrent defect runs; zero means "up to the
+	// shared pool size". The shared pool bounds total concurrency anyway.
+	Workers int `json:"workers,omitempty"`
+}
+
+// normalized returns the spec with generation defaults applied, so cache
+// keys do not distinguish "0" from "the default it selects".
+func (s Spec) normalized() Spec {
+	if s.Size == 0 {
+		s.Size = defects.DefaultLibrarySize
+	}
+	if s.Sigma == 0 {
+		s.Sigma = defects.DefaultSigma
+	}
+	if s.CthFactor == 0 {
+		s.CthFactor = crosstalk.DefaultCthFactor
+	}
+	return s
+}
+
+func (s Spec) validate() error {
+	if s.Bus != "addr" && s.Bus != "data" {
+		return fmt.Errorf("campaign: unknown bus %q (want addr or data)", s.Bus)
+	}
+	if s.Size < 0 {
+		return fmt.Errorf("campaign: negative library size %d", s.Size)
+	}
+	if s.Sigma < 0 {
+		return fmt.Errorf("campaign: negative sigma %g", s.Sigma)
+	}
+	if s.MaxSessions < 0 {
+		return fmt.Errorf("campaign: negative max_sessions %d", s.MaxSessions)
+	}
+	if s.Workers < 0 {
+		return fmt.Errorf("campaign: negative workers %d", s.Workers)
+	}
+	if len(s.Plan) > 0 {
+		if _, err := core.ReadPlan(bytes.NewReader(s.Plan)); err != nil {
+			return fmt.Errorf("campaign: inline plan: %w", err)
+		}
+	}
+	return nil
+}
+
+func (s Spec) busID() core.BusID {
+	if s.Bus == "data" {
+		return core.DataBus
+	}
+	return core.AddrBus
+}
+
+// State is a job's lifecycle phase.
+type State string
+
+// Job states. Canceled and Failed jobs keep their checkpoint and may be
+// resumed.
+const (
+	Pending  State = "pending"
+	Running  State = "running"
+	Done     State = "done"
+	Failed   State = "failed"
+	Canceled State = "canceled"
+)
+
+// Terminal reports whether the state is final (until a resume).
+func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
+
+// Progress is one progress event: counts over the defect library so far.
+type Progress struct {
+	State       State `json:"state"`
+	Done        int   `json:"done"`
+	Total       int   `json:"total"`
+	Detected    int   `json:"detected"`
+	Activations int64 `json:"activations"`
+}
+
+// Status is a point-in-time snapshot of a job, JSON-ready.
+type Status struct {
+	ID           string    `json:"id"`
+	State        State     `json:"state"`
+	Spec         Spec      `json:"spec"`
+	Progress     Progress  `json:"progress"`
+	Error        string    `json:"error,omitempty"`
+	GoldenCached bool      `json:"golden_cached"`
+	LibCached    bool      `json:"library_cached"`
+	Submitted    time.Time `json:"submitted"`
+	Started      time.Time `json:"started,omitempty"`
+	Finished     time.Time `json:"finished,omitempty"`
+}
+
+// Job is one submitted campaign.
+type Job struct {
+	id   string
+	spec Spec // normalized
+
+	mu           sync.Mutex
+	state        State
+	progress     Progress
+	outcomes     []sim.Outcome // checkpoint, by library index
+	completed    []bool
+	result       *sim.CampaignResult
+	err          error
+	width        int // bus width, for Fig. 11 rendering
+	goldenCached bool
+	libCached    bool
+	submitted    time.Time
+	started      time.Time
+	finished     time.Time
+	cancel       context.CancelFunc
+	done         chan struct{}
+	subs         map[int]chan Progress
+	nextSub      int
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Spec returns the job's normalized spec.
+func (j *Job) Spec() Spec { return j.spec }
+
+// Status snapshots the job.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID:           j.id,
+		State:        j.state,
+		Spec:         j.spec,
+		Progress:     j.progress,
+		GoldenCached: j.goldenCached,
+		LibCached:    j.libCached,
+		Submitted:    j.submitted,
+		Started:      j.started,
+		Finished:     j.finished,
+	}
+	st.Progress.State = j.state
+	if j.err != nil {
+		st.Error = j.err.Error()
+	}
+	return st
+}
+
+// Result returns the campaign result and the bus width once the job is
+// done.
+func (j *Job) Result() (*sim.CampaignResult, int, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Done || j.result == nil {
+		return nil, 0, false
+	}
+	return j.result, j.width, true
+}
+
+// Err returns the job's failure, if any.
+func (j *Job) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Done returns a channel closed when the job reaches a terminal state. A
+// resume replaces the channel, so callers should re-fetch it per wait.
+func (j *Job) Done() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done
+}
+
+// Subscribe registers a progress listener. The channel has latest-value
+// semantics: a slow consumer sees the newest event, not a backlog. The
+// returned cancel function unregisters (idempotent). A final event carrying
+// the terminal state is always delivered.
+func (j *Job) Subscribe() (<-chan Progress, func()) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	ch := make(chan Progress, 1)
+	id := j.nextSub
+	j.nextSub++
+	j.subs[id] = ch
+	// Seed with the current snapshot so subscribers need not wait for the
+	// next defect to learn where the job stands.
+	p := j.progress
+	p.State = j.state
+	ch <- p
+	return ch, func() {
+		j.mu.Lock()
+		defer j.mu.Unlock()
+		delete(j.subs, id)
+	}
+}
+
+// publishLocked pushes the current progress to all subscribers; j.mu held.
+func (j *Job) publishLocked() {
+	p := j.progress
+	p.State = j.state
+	for _, ch := range j.subs {
+		select {
+		case ch <- p:
+		default:
+			select {
+			case <-ch:
+			default:
+			}
+			select {
+			case ch <- p:
+			default:
+			}
+		}
+	}
+}
+
+// Metrics is a snapshot of the manager's counters.
+type Metrics struct {
+	JobsSubmitted      int64 `json:"jobs_submitted"`
+	JobsCompleted      int64 `json:"jobs_completed"`
+	JobsFailed         int64 `json:"jobs_failed"`
+	JobsCanceled       int64 `json:"jobs_canceled"`
+	JobsResumed        int64 `json:"jobs_resumed"`
+	DefectsSimulated   int64 `json:"defects_simulated"`
+	GoldenCacheHits    int64 `json:"golden_cache_hits"`
+	GoldenCacheMisses  int64 `json:"golden_cache_misses"`
+	LibraryCacheHits   int64 `json:"library_cache_hits"`
+	LibraryCacheMisses int64 `json:"library_cache_misses"`
+	Workers            int   `json:"workers"`
+	BusyWorkers        int   `json:"busy_workers"`
+}
+
+// Config tunes a Manager.
+type Config struct {
+	// Workers is the shared defect-run concurrency bound across all jobs;
+	// zero selects GOMAXPROCS.
+	Workers int
+}
+
+type libKey struct {
+	bus   string
+	size  int
+	sigma float64
+	seed  int64
+	cth   float64
+}
+
+// Manager owns the job table, the shared worker pool and the caches.
+type Manager struct {
+	slots chan struct{}
+
+	mu      sync.Mutex
+	closed  bool
+	jobs    map[string]*Job
+	order   []string
+	seq     int
+	runners map[string]*sim.Runner // keyed by plan hash + cth factor
+	libs    map[libKey]*defects.Library
+
+	wg sync.WaitGroup // running jobs, for Drain
+
+	jobsSubmitted, jobsCompleted, jobsFailed, jobsCanceled, jobsResumed atomic.Int64
+	defectsSimulated                                                    atomic.Int64
+	goldenHits, goldenMisses, libHits, libMisses                        atomic.Int64
+}
+
+// New builds a manager with an idle shared pool.
+func New(cfg Config) *Manager {
+	w := cfg.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Manager{
+		slots:   make(chan struct{}, w),
+		jobs:    make(map[string]*Job),
+		runners: make(map[string]*sim.Runner),
+		libs:    make(map[libKey]*defects.Library),
+	}
+}
+
+// Workers returns the shared pool size.
+func (m *Manager) Workers() int { return cap(m.slots) }
+
+// Metrics snapshots the counters.
+func (m *Manager) Metrics() Metrics {
+	return Metrics{
+		JobsSubmitted:      m.jobsSubmitted.Load(),
+		JobsCompleted:      m.jobsCompleted.Load(),
+		JobsFailed:         m.jobsFailed.Load(),
+		JobsCanceled:       m.jobsCanceled.Load(),
+		JobsResumed:        m.jobsResumed.Load(),
+		DefectsSimulated:   m.defectsSimulated.Load(),
+		GoldenCacheHits:    m.goldenHits.Load(),
+		GoldenCacheMisses:  m.goldenMisses.Load(),
+		LibraryCacheHits:   m.libHits.Load(),
+		LibraryCacheMisses: m.libMisses.Load(),
+		Workers:            cap(m.slots),
+		BusyWorkers:        len(m.slots),
+	}
+}
+
+// Submit validates the spec, registers a job and starts it asynchronously.
+func (m *Manager) Submit(spec Spec) (*Job, error) {
+	if err := spec.validate(); err != nil {
+		return nil, err
+	}
+	spec = spec.normalized()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errors.New("campaign: manager is draining; not accepting jobs")
+	}
+	m.seq++
+	job := &Job{
+		id:        fmt.Sprintf("c%06d", m.seq),
+		spec:      spec,
+		state:     Pending,
+		submitted: time.Now(),
+		done:      make(chan struct{}),
+		subs:      make(map[int]chan Progress),
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	job.cancel = cancel
+	m.jobs[job.id] = job
+	m.order = append(m.order, job.id)
+	m.wg.Add(1)
+	m.mu.Unlock()
+	m.jobsSubmitted.Add(1)
+	go m.run(ctx, job)
+	return job, nil
+}
+
+// Get looks a job up by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all jobs in submission order.
+func (m *Manager) Jobs() []*Job {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		out = append(out, m.jobs[id])
+	}
+	return out
+}
+
+// Cancel requests cancellation of a pending or running job. The job stops
+// within one defect-run granularity and keeps its checkpoint.
+func (m *Manager) Cancel(id string) error {
+	job, ok := m.Get(id)
+	if !ok {
+		return fmt.Errorf("campaign: no job %q", id)
+	}
+	job.mu.Lock()
+	defer job.mu.Unlock()
+	if job.state.Terminal() {
+		return fmt.Errorf("campaign: job %s already %s", id, job.state)
+	}
+	job.cancel()
+	return nil
+}
+
+// CancelAll cancels every non-terminal job (used on forced shutdown).
+func (m *Manager) CancelAll() {
+	for _, job := range m.Jobs() {
+		job.mu.Lock()
+		if !job.state.Terminal() {
+			job.cancel()
+		}
+		job.mu.Unlock()
+	}
+}
+
+// Resume restarts a canceled or failed job from its checkpoint: defects
+// whose outcomes were already recorded are not re-simulated.
+func (m *Manager) Resume(id string) (*Job, error) {
+	job, ok := m.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("campaign: no job %q", id)
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, errors.New("campaign: manager is draining; not accepting jobs")
+	}
+	job.mu.Lock()
+	if job.state != Canceled && job.state != Failed {
+		st := job.state
+		job.mu.Unlock()
+		m.mu.Unlock()
+		return nil, fmt.Errorf("campaign: job %s is %s; only canceled or failed jobs resume", id, st)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	job.state = Pending
+	job.err = nil
+	job.finished = time.Time{}
+	job.cancel = cancel
+	job.done = make(chan struct{})
+	job.mu.Unlock()
+	m.wg.Add(1)
+	m.mu.Unlock()
+	m.jobsResumed.Add(1)
+	go m.run(ctx, job)
+	return job, nil
+}
+
+// Drain stops accepting new jobs and waits for running ones to finish, up
+// to ctx's deadline.
+func (m *Manager) Drain(ctx context.Context) error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// setups derives the nominal bus setups for a Cth factor.
+func setups(cthFactor float64) (addr, data sim.BusSetup, err error) {
+	an := crosstalk.Nominal(parwan.AddrBits)
+	at, err := crosstalk.DeriveThresholds(an, cthFactor)
+	if err != nil {
+		return sim.BusSetup{}, sim.BusSetup{}, err
+	}
+	dn := crosstalk.Nominal(parwan.DataBits)
+	dt, err := crosstalk.DeriveThresholds(dn, cthFactor)
+	if err != nil {
+		return sim.BusSetup{}, sim.BusSetup{}, err
+	}
+	return sim.BusSetup{Nominal: an, Thresholds: at}, sim.BusSetup{Nominal: dn, Thresholds: dt}, nil
+}
+
+// planFor obtains the job's plan: inline document or generated from config.
+func planFor(spec Spec) (*core.Plan, error) {
+	if len(spec.Plan) > 0 {
+		return core.ReadPlan(bytes.NewReader(spec.Plan))
+	}
+	return core.Generate(core.GenConfig{
+		Compaction:  spec.Compaction,
+		MaxSessions: spec.MaxSessions,
+		SkipDataBus: spec.TargetOnly && spec.Bus == "addr",
+		SkipAddrBus: spec.TargetOnly && spec.Bus == "data",
+	})
+}
+
+// PlanHash is the cache identity of a plan: SHA-256 over its canonical
+// serialized form (core.WritePlan output).
+func PlanHash(p *core.Plan) (string, error) {
+	var buf bytes.Buffer
+	if err := core.WritePlan(&buf, p); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// runnerFor returns a cached golden runner for (plan hash, cth), building
+// and caching one on miss. Runners are read-only after construction, so one
+// instance safely serves concurrent jobs.
+func (m *Manager) runnerFor(plan *core.Plan, addr, data sim.BusSetup, cth float64) (*sim.Runner, bool, error) {
+	hash, err := PlanHash(plan)
+	if err != nil {
+		return nil, false, err
+	}
+	key := fmt.Sprintf("%s|cth=%g", hash, cth)
+	m.mu.Lock()
+	r, ok := m.runners[key]
+	m.mu.Unlock()
+	if ok {
+		m.goldenHits.Add(1)
+		return r, true, nil
+	}
+	m.goldenMisses.Add(1)
+	r, err = sim.NewRunner(plan, addr, data)
+	if err != nil {
+		return nil, false, err
+	}
+	m.mu.Lock()
+	if prev, ok := m.runners[key]; ok {
+		r = prev // lost a build race; keep the first
+	} else {
+		m.runners[key] = r
+	}
+	m.mu.Unlock()
+	return r, false, nil
+}
+
+// libraryFor returns a cached defect library for the spec, generating and
+// caching one on miss. Libraries are read-only during campaigns.
+func (m *Manager) libraryFor(spec Spec, setup sim.BusSetup) (*defects.Library, bool, error) {
+	key := libKey{bus: spec.Bus, size: spec.Size, sigma: spec.Sigma, seed: spec.Seed, cth: setup.Thresholds.Cth}
+	m.mu.Lock()
+	lib, ok := m.libs[key]
+	m.mu.Unlock()
+	if ok {
+		m.libHits.Add(1)
+		return lib, true, nil
+	}
+	m.libMisses.Add(1)
+	lib, err := defects.Generate(setup.Nominal, setup.Thresholds,
+		defects.Config{Size: spec.Size, Sigma: spec.Sigma, Seed: spec.Seed})
+	if err != nil {
+		return nil, false, err
+	}
+	m.mu.Lock()
+	if prev, ok := m.libs[key]; ok {
+		lib = prev
+	} else {
+		m.libs[key] = lib
+	}
+	m.mu.Unlock()
+	return lib, false, nil
+}
+
+// run executes a job to a terminal state.
+func (m *Manager) run(ctx context.Context, job *Job) {
+	defer m.wg.Done()
+	job.mu.Lock()
+	job.state = Running
+	job.started = time.Now()
+	job.publishLocked()
+	job.mu.Unlock()
+
+	res, err := m.execute(ctx, job)
+
+	job.mu.Lock()
+	switch {
+	case err == nil:
+		job.state = Done
+		job.result = res
+		m.jobsCompleted.Add(1)
+	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
+		job.state = Canceled
+		job.err = context.Canceled
+		m.jobsCanceled.Add(1)
+	default:
+		job.state = Failed
+		job.err = err
+		m.jobsFailed.Add(1)
+	}
+	job.finished = time.Now()
+	job.publishLocked()
+	close(job.done)
+	job.mu.Unlock()
+}
+
+// execute performs the cached setup steps and the campaign proper.
+func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, error) {
+	spec := job.spec
+	addr, data, err := setups(spec.CthFactor)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	plan, err := planFor(spec)
+	if err != nil {
+		return nil, err
+	}
+	runner, goldenHit, err := m.runnerFor(plan, addr, data, addr.Thresholds.Cth)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	setup := addr
+	if spec.busID() == core.DataBus {
+		setup = data
+	}
+	lib, libHit, err := m.libraryFor(spec, setup)
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	job.mu.Lock()
+	job.goldenCached = goldenHit
+	job.libCached = libHit
+	job.width = setup.Nominal.Width
+	if len(job.outcomes) != len(lib.Defects) {
+		// First run (or a resume whose library size changed, which cannot
+		// happen for an unchanged spec): fresh checkpoint.
+		job.outcomes = make([]sim.Outcome, len(lib.Defects))
+		job.completed = make([]bool, len(lib.Defects))
+	}
+	// Rebuild progress from the checkpoint so a resumed job reports
+	// monotone counts continuing where it stopped.
+	p := Progress{Total: len(lib.Defects)}
+	for i, done := range job.completed {
+		if !done {
+			continue
+		}
+		p.Done++
+		if job.outcomes[i].Detected {
+			p.Detected++
+		}
+		p.Activations += int64(job.outcomes[i].Activations)
+	}
+	job.progress = p
+	job.publishLocked()
+	job.mu.Unlock()
+
+	workers := spec.Workers
+	if workers <= 0 || workers > cap(m.slots) {
+		workers = cap(m.slots)
+	}
+	opts := sim.CampaignOpts{
+		Workers: workers,
+		Slots:   m.slots,
+		Skip: func(i int) (sim.Outcome, bool) {
+			job.mu.Lock()
+			defer job.mu.Unlock()
+			if job.completed[i] {
+				return job.outcomes[i], true
+			}
+			return sim.Outcome{}, false
+		},
+		OnOutcome: func(i int, out sim.Outcome) {
+			job.mu.Lock()
+			defer job.mu.Unlock()
+			if job.completed[i] {
+				return // checkpoint replay; already counted
+			}
+			job.completed[i] = true
+			job.outcomes[i] = out
+			job.progress.Done++
+			if out.Detected {
+				job.progress.Detected++
+			}
+			job.progress.Activations += int64(out.Activations)
+			m.defectsSimulated.Add(1)
+			job.publishLocked()
+		},
+	}
+	return runner.CampaignCtx(ctx, spec.busID(), lib, opts)
+}

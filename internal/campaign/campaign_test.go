@@ -1,0 +1,311 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/defects"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// smallSpec is an address-bus campaign small enough for unit tests but with
+// enough defects that cancellation can land mid-run.
+func smallSpec() Spec {
+	return Spec{Bus: "addr", Size: 60, Seed: 1, TargetOnly: true}
+}
+
+func waitDone(t *testing.T, job *Job) {
+	t.Helper()
+	select {
+	case <-job.Done():
+	case <-time.After(2 * time.Minute):
+		t.Fatalf("job %s did not reach a terminal state", job.ID())
+	}
+}
+
+// directResult runs the same campaign without the service tier.
+func directResult(t *testing.T, spec Spec) (*sim.CampaignResult, int) {
+	t.Helper()
+	spec = spec.normalized()
+	addr, data, err := setups(spec.CthFactor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := planFor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.NewRunner(plan, addr, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup := addr
+	if spec.busID() == core.DataBus {
+		setup = data
+	}
+	lib, err := defects.Generate(setup.Nominal, setup.Thresholds,
+		defects.Config{Size: spec.Size, Sigma: spec.Sigma, Seed: spec.Seed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Campaign(spec.busID(), lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, setup.Nominal.Width
+}
+
+func renderJSON(t *testing.T, res *sim.CampaignResult, width int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := report.WriteCampaignJSON(&buf, res, width); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestServiceMatchesDirectRun(t *testing.T) {
+	m := New(Config{Workers: 4})
+	job, err := m.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	res, width, ok := job.Result()
+	if !ok {
+		t.Fatalf("job finished %s (err=%v), want done", job.Status().State, job.Err())
+	}
+	direct, directWidth := directResult(t, smallSpec())
+	got := renderJSON(t, res, width)
+	want := renderJSON(t, direct, directWidth)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("service result differs from direct run:\nservice: %d bytes\ndirect:  %d bytes", len(got), len(want))
+	}
+	st := job.Status()
+	if st.Progress.Done != res.Total || st.Progress.Detected != res.Detected {
+		t.Fatalf("final progress %+v does not match result (%d total, %d detected)",
+			st.Progress, res.Total, res.Detected)
+	}
+}
+
+func TestCacheReuseAcrossJobs(t *testing.T) {
+	m := New(Config{Workers: 4})
+	first, err := m.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, first)
+	if st := first.Status(); st.GoldenCached || st.LibCached {
+		t.Fatalf("first job unexpectedly hit caches: %+v", st)
+	}
+
+	second, err := m.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, second)
+	st := second.Status()
+	if !st.GoldenCached || !st.LibCached {
+		t.Fatalf("second identical job missed caches: golden=%v lib=%v", st.GoldenCached, st.LibCached)
+	}
+
+	// A different seed shares the plan (golden cache) but not the library.
+	reseeded := smallSpec()
+	reseeded.Seed = 99
+	third, err := m.Submit(reseeded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, third)
+	st = third.Status()
+	if !st.GoldenCached || st.LibCached {
+		t.Fatalf("reseeded job: golden=%v lib=%v, want golden hit + lib miss", st.GoldenCached, st.LibCached)
+	}
+
+	mt := m.Metrics()
+	if mt.GoldenCacheHits != 2 || mt.GoldenCacheMisses != 1 {
+		t.Fatalf("golden cache hits/misses = %d/%d, want 2/1", mt.GoldenCacheHits, mt.GoldenCacheMisses)
+	}
+	if mt.LibraryCacheHits != 1 || mt.LibraryCacheMisses != 2 {
+		t.Fatalf("library cache hits/misses = %d/%d, want 1/2", mt.LibraryCacheHits, mt.LibraryCacheMisses)
+	}
+}
+
+func TestCancelStopsPromptly(t *testing.T) {
+	// One worker makes the run long enough to cancel mid-campaign.
+	m := New(Config{Workers: 1})
+	spec := smallSpec()
+	spec.Size = 200
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, unsub := job.Subscribe()
+	defer unsub()
+	// Wait until at least one defect has completed so the cancel lands
+	// mid-campaign rather than during setup.
+	deadline := time.After(time.Minute)
+	for started := false; !started; {
+		select {
+		case p := <-events:
+			started = p.Done > 0
+		case <-deadline:
+			t.Fatal("campaign never made progress")
+		}
+	}
+	if err := m.Cancel(job.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	st := job.Status()
+	if st.State != Canceled {
+		t.Fatalf("state = %s, want canceled", st.State)
+	}
+	if st.Progress.Done >= st.Progress.Total {
+		t.Fatalf("cancelled job completed all %d defects", st.Progress.Total)
+	}
+	if _, _, ok := job.Result(); ok {
+		t.Fatal("cancelled job has a result")
+	}
+}
+
+func TestResumeSkipsCheckpointedDefects(t *testing.T) {
+	m := New(Config{Workers: 1})
+	spec := smallSpec()
+	spec.Size = 120
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, unsub := job.Subscribe()
+	for {
+		p := <-events
+		if p.Done >= 10 {
+			break
+		}
+	}
+	unsub()
+	if err := m.Cancel(job.ID()); err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	checkpointed := job.Status().Progress.Done
+	if checkpointed == 0 {
+		t.Fatal("no checkpointed outcomes before resume")
+	}
+	simulatedBefore := m.Metrics().DefectsSimulated
+
+	resumed, err := m.Resume(job.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, resumed)
+	res, width, ok := resumed.Result()
+	if !ok {
+		t.Fatalf("resumed job finished %s (err=%v), want done", resumed.Status().State, resumed.Err())
+	}
+	fresh := m.Metrics().DefectsSimulated - simulatedBefore
+	if want := int64(res.Total) - int64(checkpointed); fresh != want {
+		t.Fatalf("resume simulated %d defects, want %d (total %d - checkpointed %d)",
+			fresh, want, res.Total, checkpointed)
+	}
+	direct, directWidth := directResult(t, spec)
+	if !bytes.Equal(renderJSON(t, res, width), renderJSON(t, direct, directWidth)) {
+		t.Fatal("resumed result differs from direct run")
+	}
+}
+
+func TestProgressIsMonotone(t *testing.T) {
+	m := New(Config{Workers: 2})
+	job, err := m.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	events, unsub := job.Subscribe()
+	defer unsub()
+	last := Progress{}
+	for {
+		p := <-events
+		if p.Done < last.Done || p.Detected < last.Detected || p.Activations < last.Activations {
+			t.Fatalf("progress regressed: %+v after %+v", p, last)
+		}
+		last = p
+		if p.State.Terminal() {
+			break
+		}
+	}
+	if last.State != Done || last.Done != last.Total {
+		t.Fatalf("final event %+v, want done with all defects", last)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m := New(Config{Workers: 1})
+	bad := []Spec{
+		{Bus: "ctrl"},
+		{Bus: "addr", Size: -1},
+		{Bus: "addr", Sigma: -0.5},
+		{Bus: "addr", Workers: -2},
+		{Bus: "addr", Plan: []byte(`{"programs": 42}`)},
+	}
+	for _, spec := range bad {
+		if _, err := m.Submit(spec); err == nil {
+			t.Errorf("Submit(%+v) accepted an invalid spec", spec)
+		}
+	}
+}
+
+func TestInlinePlanSubmission(t *testing.T) {
+	plan, err := core.Generate(core.GenConfig{SkipDataBus: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := core.WritePlan(&buf, plan); err != nil {
+		t.Fatal(err)
+	}
+	m := New(Config{Workers: 4})
+	spec := Spec{Bus: "addr", Size: 30, Seed: 5, Plan: buf.Bytes()}
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if _, _, ok := job.Result(); !ok {
+		t.Fatalf("inline-plan job finished %s (err=%v)", job.Status().State, job.Err())
+	}
+	// The generated-plan spec with the same shape shares the golden runner:
+	// the plan hash, not the submission path, is the cache key.
+	gen := Spec{Bus: "addr", Size: 30, Seed: 5, TargetOnly: true}
+	job2, err := m.Submit(gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job2)
+	if st := job2.Status(); !st.GoldenCached {
+		t.Fatalf("generated plan with identical content missed the golden cache: %+v", st)
+	}
+}
+
+func TestDrainRejectsNewJobs(t *testing.T) {
+	m := New(Config{Workers: 2})
+	job, err := m.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := m.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if job.Status().State != Done {
+		t.Fatalf("drained job is %s, want done", job.Status().State)
+	}
+	if _, err := m.Submit(smallSpec()); err == nil {
+		t.Fatal("Submit succeeded after Drain")
+	}
+}

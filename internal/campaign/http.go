@@ -1,0 +1,189 @@
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/report"
+)
+
+// Server is the HTTP/JSON face of a Manager, served by cmd/xtalkd.
+//
+//	POST   /v1/campaigns             submit a Spec, returns its Status
+//	GET    /v1/campaigns             list all jobs
+//	GET    /v1/campaigns/{id}        status + progress
+//	GET    /v1/campaigns/{id}/result full campaign result (done jobs only)
+//	GET    /v1/campaigns/{id}/watch  NDJSON stream of progress events
+//	POST   /v1/campaigns/{id}/resume restart a canceled/failed job
+//	DELETE /v1/campaigns/{id}        cancel
+//	GET    /healthz                  liveness
+//	GET    /metrics                  text metrics exposition
+type Server struct {
+	m   *Manager
+	mux *http.ServeMux
+}
+
+// NewServer wires the routes.
+func NewServer(m *Manager) *Server {
+	s := &Server{m: m, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/campaigns", s.submit)
+	s.mux.HandleFunc("GET /v1/campaigns", s.list)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.status)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/result", s.result)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}/watch", s.watch)
+	s.mux.HandleFunc("POST /v1/campaigns/{id}/resume", s.resume)
+	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.cancel)
+	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.m.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no job %q", id))
+		return nil, false
+	}
+	return job, true
+}
+
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec Spec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding spec: %w", err))
+		return
+	}
+	job, err := s.m.Submit(spec)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	w.Header().Set("Location", "/v1/campaigns/"+job.ID())
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) list(w http.ResponseWriter, _ *http.Request) {
+	jobs := s.m.Jobs()
+	out := make([]Status, 0, len(jobs))
+	for _, j := range jobs {
+		out = append(out, j.Status())
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) status(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Status())
+}
+
+func (s *Server) result(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	res, width, ok := job.Result()
+	if !ok {
+		writeError(w, http.StatusConflict,
+			fmt.Errorf("job %s is %s; result available once done", job.ID(), job.Status().State))
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	report.WriteCampaignJSON(w, res, width)
+}
+
+// watch streams progress events as NDJSON until the job reaches a terminal
+// state or the client goes away. The final event carries the terminal state.
+func (s *Server) watch(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	events, cancel := job.Subscribe()
+	defer cancel()
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case p := <-events:
+			if err := enc.Encode(p); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			if p.State.Terminal() {
+				return
+			}
+		}
+	}
+}
+
+func (s *Server) resume(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	job, err := s.m.Resume(job.ID())
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	if err := s.m.Cancel(job.ID()); err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, job.Status())
+}
+
+func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.m.Metrics()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "xtalkd_jobs_submitted_total %d\n", m.JobsSubmitted)
+	fmt.Fprintf(w, "xtalkd_jobs_completed_total %d\n", m.JobsCompleted)
+	fmt.Fprintf(w, "xtalkd_jobs_failed_total %d\n", m.JobsFailed)
+	fmt.Fprintf(w, "xtalkd_jobs_canceled_total %d\n", m.JobsCanceled)
+	fmt.Fprintf(w, "xtalkd_jobs_resumed_total %d\n", m.JobsResumed)
+	fmt.Fprintf(w, "xtalkd_defects_simulated_total %d\n", m.DefectsSimulated)
+	fmt.Fprintf(w, "xtalkd_golden_cache_hits_total %d\n", m.GoldenCacheHits)
+	fmt.Fprintf(w, "xtalkd_golden_cache_misses_total %d\n", m.GoldenCacheMisses)
+	fmt.Fprintf(w, "xtalkd_library_cache_hits_total %d\n", m.LibraryCacheHits)
+	fmt.Fprintf(w, "xtalkd_library_cache_misses_total %d\n", m.LibraryCacheMisses)
+	fmt.Fprintf(w, "xtalkd_workers %d\n", m.Workers)
+	fmt.Fprintf(w, "xtalkd_workers_busy %d\n", m.BusyWorkers)
+}

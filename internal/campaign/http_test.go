@@ -1,0 +1,270 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func newTestServer(t *testing.T, workers int) (*Manager, *httptest.Server) {
+	t.Helper()
+	m := New(Config{Workers: workers})
+	ts := httptest.NewServer(NewServer(m))
+	t.Cleanup(ts.Close)
+	return m, ts
+}
+
+func doJSON(t *testing.T, method, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if body != "" {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func submitSmall(t *testing.T, ts *httptest.Server) Status {
+	t.Helper()
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/campaigns",
+		`{"bus":"addr","size":60,"seed":1,"target_only":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: status %d: %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st.ID == "" || st.State == "" {
+		t.Fatalf("submit returned incomplete status: %s", body)
+	}
+	return st
+}
+
+func waitDoneHTTP(t *testing.T, m *Manager, id string) {
+	t.Helper()
+	job, ok := m.Get(id)
+	if !ok {
+		t.Fatalf("job %s not in manager", id)
+	}
+	waitDone(t, job)
+}
+
+func TestHTTPSubmitStatusResult(t *testing.T) {
+	m, ts := newTestServer(t, 4)
+	st := submitSmall(t, ts)
+	waitDoneHTTP(t, m, st.ID)
+
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns/"+st.ID, "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status: %d: %s", resp.StatusCode, body)
+	}
+	var got Status
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != Done || got.Progress.Done != got.Progress.Total {
+		t.Fatalf("status after completion: %+v", got)
+	}
+
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns/"+st.ID+"/result", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %d: %s", resp.StatusCode, body)
+	}
+	// The HTTP result must be byte-identical to rendering the direct run.
+	direct, width := directResult(t, Spec{Bus: "addr", Size: 60, Seed: 1, TargetOnly: true})
+	want := renderJSON(t, direct, width)
+	if !bytes.Equal(body, want) {
+		t.Fatalf("HTTP result differs from direct render (%d vs %d bytes)", len(body), len(want))
+	}
+
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("list: %d: %s", resp.StatusCode, body)
+	}
+	var all []Status
+	if err := json.Unmarshal(body, &all); err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != 1 || all[0].ID != st.ID {
+		t.Fatalf("list = %s", body)
+	}
+}
+
+func TestHTTPResultBeforeDoneAndUnknownJob(t *testing.T) {
+	m, ts := newTestServer(t, 1)
+	// A job that takes a while: result must 409 while it runs.
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/campaigns",
+		`{"bus":"addr","size":150,"seed":3,"target_only":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns/"+st.ID+"/result", "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("result before done: %d, want 409", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns/nope", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job status: %d, want 404", resp.StatusCode)
+	}
+	resp, _ = doJSON(t, http.MethodDelete, ts.URL+"/v1/campaigns/nope", "")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job cancel: %d, want 404", resp.StatusCode)
+	}
+	waitDoneHTTP(t, m, st.ID)
+}
+
+func TestHTTPCancelAndResume(t *testing.T) {
+	m, ts := newTestServer(t, 1)
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/campaigns",
+		`{"bus":"addr","size":200,"seed":2,"target_only":true}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: %d: %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for some progress so the cancel lands mid-campaign.
+	job, _ := m.Get(st.ID)
+	events, unsub := job.Subscribe()
+	deadline := time.After(time.Minute)
+	for started := false; !started; {
+		select {
+		case p := <-events:
+			started = p.Done > 0
+		case <-deadline:
+			t.Fatal("no progress before cancel")
+		}
+	}
+	unsub()
+
+	resp, body = doJSON(t, http.MethodDelete, ts.URL+"/v1/campaigns/"+st.ID, "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %d: %s", resp.StatusCode, body)
+	}
+	waitDoneHTTP(t, m, st.ID)
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns/"+st.ID, "")
+	var got Status
+	if err := json.Unmarshal(body, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.State != Canceled {
+		t.Fatalf("state after cancel = %s (%s)", got.State, body)
+	}
+	// Cancelling again conflicts.
+	resp, _ = doJSON(t, http.MethodDelete, ts.URL+"/v1/campaigns/"+st.ID, "")
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("double cancel: %d, want 409", resp.StatusCode)
+	}
+
+	resp, body = doJSON(t, http.MethodPost, ts.URL+"/v1/campaigns/"+st.ID+"/resume", "")
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("resume: %d: %s", resp.StatusCode, body)
+	}
+	waitDoneHTTP(t, m, st.ID)
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/v1/campaigns/"+st.ID+"/result", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result after resume: %d: %s", resp.StatusCode, body)
+	}
+	direct, width := directResult(t, Spec{Bus: "addr", Size: 200, Seed: 2, TargetOnly: true})
+	if want := renderJSON(t, direct, width); !bytes.Equal(body, want) {
+		t.Fatal("resumed HTTP result differs from direct render")
+	}
+}
+
+func TestHTTPWatchStreamsMonotoneProgress(t *testing.T) {
+	m, ts := newTestServer(t, 2)
+	st := submitSmall(t, ts)
+	resp, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("watch content type %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	last := Progress{}
+	events := 0
+	for sc.Scan() {
+		var p Progress
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("bad event %q: %v", sc.Text(), err)
+		}
+		if p.Done < last.Done || p.Detected < last.Detected {
+			t.Fatalf("watch regressed: %+v after %+v", p, last)
+		}
+		last = p
+		events++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if events == 0 || !last.State.Terminal() {
+		t.Fatalf("watch ended after %d events in state %s", events, last.State)
+	}
+	waitDoneHTTP(t, m, st.ID)
+}
+
+func TestHTTPBadSubmissions(t *testing.T) {
+	_, ts := newTestServer(t, 1)
+	for _, body := range []string{
+		``,
+		`{`,
+		`{"bus":"ctrl"}`,
+		`{"bus":"addr","bogus_field":1}`,
+	} {
+		resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/campaigns", body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %q: status %d, want 400", body, resp.StatusCode)
+		}
+	}
+}
+
+func TestHTTPHealthAndMetrics(t *testing.T) {
+	m, ts := newTestServer(t, 2)
+	resp, body := doJSON(t, http.MethodGet, ts.URL+"/healthz", "")
+	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+	st := submitSmall(t, ts)
+	waitDoneHTTP(t, m, st.ID)
+	resp, body = doJSON(t, http.MethodGet, ts.URL+"/metrics", "")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: %d", resp.StatusCode)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"xtalkd_jobs_submitted_total 1",
+		"xtalkd_jobs_completed_total 1",
+		"xtalkd_defects_simulated_total 60",
+		"xtalkd_golden_cache_misses_total 1",
+		"xtalkd_workers 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
+	}
+}

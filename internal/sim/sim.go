@@ -13,9 +13,11 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/crosstalk"
@@ -221,26 +223,65 @@ func (c *CampaignResult) Coverage() float64 {
 	return float64(c.Detected) / float64(c.Total)
 }
 
+// CampaignOpts tunes a campaign run. The zero value reproduces the classic
+// Campaign behaviour: one worker per CPU, no hooks, no external limiter.
+type CampaignOpts struct {
+	// Workers is the number of worker goroutines; zero selects GOMAXPROCS.
+	Workers int
+	// Slots, when non-nil, is a shared concurrency limiter: each defect run
+	// sends a token before executing and receives it back after. A service
+	// scheduling several campaigns passes the same buffered channel to all
+	// of them so total in-flight defect runs stay bounded machine-wide.
+	Slots chan struct{}
+	// OnOutcome, when non-nil, is called once per completed defect with its
+	// library index and outcome, including outcomes supplied by Skip. Calls
+	// are serialised (never concurrent) but arrive in completion order, not
+	// index order.
+	OnOutcome func(i int, out Outcome)
+	// Skip, when non-nil, lets the caller supply an already-known outcome
+	// for index i (e.g. from a checkpoint of an interrupted campaign); the
+	// defect run is then skipped. Defect runs are deterministic, so reusing
+	// a checkpointed outcome cannot change the aggregate result.
+	Skip func(i int) (Outcome, bool)
+}
+
 // Campaign simulates every defect in the library on the given bus. Defect
 // runs are independent, so they execute on a worker pool; the result is
 // deterministic because outcomes are collected by defect index and
 // aggregated in order.
 func (r *Runner) Campaign(bus core.BusID, lib *defects.Library) (*CampaignResult, error) {
-	res := &CampaignResult{
-		Bus:           bus,
-		Total:         len(lib.Defects),
-		PerFault:      make(map[maf.Fault]int),
-		UniqueByFault: make(map[maf.Fault]int),
-	}
+	return r.CampaignCtx(context.Background(), bus, lib, CampaignOpts{})
+}
+
+// CampaignCtx is Campaign with cancellation and scheduling hooks. When ctx
+// is cancelled, dispatch stops, in-flight defect runs finish, and the
+// context error is returned; outcomes already reported through OnOutcome
+// remain valid as a checkpoint for a later resumed run. When a defect run
+// fails, no further defects are dispatched and the first error (in index
+// order) is reported with the defect's library ID.
+func (r *Runner) CampaignCtx(ctx context.Context, bus core.BusID, lib *defects.Library, opts CampaignOpts) (*CampaignResult, error) {
 	outcomes := make([]Outcome, len(lib.Defects))
 	errs := make([]error, len(lib.Defects))
 
-	workers := runtime.GOMAXPROCS(0)
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	if workers > len(lib.Defects) {
 		workers = len(lib.Defects)
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	var failed atomic.Bool
+	var outcomeMu sync.Mutex
+	record := func(i int, out Outcome) {
+		outcomes[i] = out
+		if opts.OnOutcome != nil {
+			outcomeMu.Lock()
+			opts.OnOutcome(i, out)
+			outcomeMu.Unlock()
+		}
 	}
 	var wg sync.WaitGroup
 	next := make(chan int)
@@ -249,26 +290,67 @@ func (r *Runner) Campaign(bus core.BusID, lib *defects.Library) (*CampaignResult
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				if failed.Load() || ctx.Err() != nil {
+					continue // drain without running
+				}
+				if opts.Skip != nil {
+					if out, ok := opts.Skip(i); ok {
+						record(i, out)
+						continue
+					}
+				}
+				if opts.Slots != nil {
+					opts.Slots <- struct{}{}
+				}
 				out, err := r.RunDefect(bus, lib.Defects[i].Params)
+				if opts.Slots != nil {
+					<-opts.Slots
+				}
 				if err != nil {
 					errs[i] = err
+					failed.Store(true)
 					continue
 				}
 				out.DefectID = lib.Defects[i].ID
-				outcomes[i] = out
+				record(i, out)
 			}
 		}()
 	}
+dispatch:
 	for i := range lib.Defects {
-		next <- i
+		if failed.Load() {
+			break
+		}
+		select {
+		case <-ctx.Done():
+			break dispatch
+		case next <- i:
+		}
 	}
 	close(next)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for i, err := range errs {
 		if err != nil {
-			return nil, fmt.Errorf("sim: defect %d: %w", i, err)
+			return nil, fmt.Errorf("sim: defect %d: %w", lib.Defects[i].ID, err)
 		}
+	}
+	return Aggregate(bus, outcomes), nil
+}
+
+// Aggregate builds a CampaignResult from per-defect outcomes ordered by
+// library index. It is the single aggregation path shared by Campaign and
+// by services that collect outcomes themselves (checkpoint resume), which
+// keeps the two byte-identical for the same library.
+func Aggregate(bus core.BusID, outcomes []Outcome) *CampaignResult {
+	res := &CampaignResult{
+		Bus:           bus,
+		Total:         len(outcomes),
+		PerFault:      make(map[maf.Fault]int),
+		UniqueByFault: make(map[maf.Fault]int),
 	}
 	for _, out := range outcomes {
 		if out.Detected {
@@ -285,7 +367,7 @@ func (r *Runner) Campaign(bus core.BusID, lib *defects.Library) (*CampaignResult
 		}
 	}
 	res.Outcomes = outcomes
-	return res, nil
+	return res
 }
 
 // WirePoint is one bar group of the paper's Fig. 11: the individual and
