@@ -7,6 +7,7 @@
 package repro_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -190,6 +191,43 @@ func BenchmarkE5_TotalDefectCoverage(b *testing.B) {
 	b.ReportMetric(aRes.Coverage()*100, "addr-coverage-%")
 	b.ReportMetric(dRes.Coverage()*100, "data-coverage-%")
 }
+
+// benchE5Engine runs the E5 campaign (both busses) under one engine, the
+// head-to-head measurement behind BENCH_PR2.json.
+func benchE5Engine(b *testing.B, eng sim.Engine) {
+	plan := mustPlan(b, core.GenConfig{})
+	r := mustRunner(b, plan)
+	addr, data := mustSetups(b)
+	addrLib := mustLibrary(b, addr, benchLibrarySize, 3001)
+	dataLib := mustLibrary(b, data, benchLibrarySize, 3002)
+	opts := sim.CampaignOpts{Engine: eng}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.CampaignCtx(context.Background(), core.AddrBus, addrLib, opts); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.CampaignCtx(context.Background(), core.DataBus, dataLib, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := r.Stats()
+	b.ReportMetric(float64(st.ReplayHits)/float64(b.N), "replay-hits/op")
+	b.ReportMetric(float64(st.Fallbacks)/float64(b.N), "fallbacks/op")
+	if st.MemoHits+st.MemoMisses > 0 {
+		b.ReportMetric(float64(st.MemoHits)/float64(st.MemoHits+st.MemoMisses)*100, "memo-hit-%")
+	}
+}
+
+// BenchmarkE5_EngineExecute measures the E5 campaign under the execute-only
+// reference engine (the pre-refactor behaviour: full CPU execution per
+// defect on freshly allocated systems).
+func BenchmarkE5_EngineExecute(b *testing.B) { benchE5Engine(b, sim.Execute) }
+
+// BenchmarkE5_EngineAuto measures the E5 campaign under the Auto engine
+// (trace replay, memoized channels, pooled systems, snapshot-resumed
+// execution fallback) — byte-identical results to Execute.
+func BenchmarkE5_EngineAuto(b *testing.B) { benchE5Engine(b, sim.Auto) }
 
 // BenchmarkE6_BaselineComparison regenerates the paper's comparison claims
 // (§1): software-based self-test has zero hardware overhead and no

@@ -7,12 +7,13 @@
 //	xtalk gen     [-compaction] [-sessions N] [-listing]
 //	xtalk params  [-width N] [-cth F] [-o file]
 //	xtalk defects [-bus addr|data] [-size N] [-sigma S] [-seed N]
-//	xtalk sim     [-bus addr|data] [-size N] [-seed N] [-compaction]
-//	xtalk fig11   [-size N] [-seed N] [-csv]
+//	xtalk sim     [-bus addr|data] [-size N] [-seed N] [-compaction] [-engine auto|execute|replay]
+//	xtalk fig11   [-size N] [-seed N] [-csv] [-engine auto|execute|replay]
 //	xtalk compare [-size N] [-seed N]
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -208,7 +209,12 @@ func cmdSim(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	compaction := fs.Bool("compaction", false, "compact responses")
 	planFile := fs.String("plan", "", "load a previously saved plan instead of generating")
+	engine := fs.String("engine", "auto", "simulation engine: auto, execute, or replay")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
 		return err
 	}
 	setup, isData, err := busSetup(*bus)
@@ -240,7 +246,7 @@ func cmdSim(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := r.Campaign(busID, lib)
+	res, err := r.CampaignCtx(context.Background(), busID, lib, sim.CampaignOpts{Engine: eng})
 	if err != nil {
 		return err
 	}
@@ -249,7 +255,26 @@ func cmdSim(args []string) error {
 	fmt.Printf("crashed/hung runs counted as detections: %d\n", res.Crashed)
 	fmt.Printf("golden execution time: %d CPU cycles across %d sessions (paper: 1720)\n",
 		r.GoldenCycles(), len(plan.Programs))
+	printEngineStats(eng, r)
 	return nil
+}
+
+// printEngineStats summarizes how the engine resolved the campaign's defect
+// runs: replay-tier hits versus full executions, plus channel-memo traffic.
+func printEngineStats(eng sim.Engine, r *sim.Runner) {
+	st := r.Stats()
+	switch eng {
+	case sim.Replay:
+		fmt.Printf("engine %s: %d replay-resolved, %d screened as detected, %d executed\n",
+			eng, st.ReplayHits, st.Screened, st.Executes)
+	default:
+		fmt.Printf("engine %s: %d replay-resolved, %d divergence fallbacks, %d full executions\n",
+			eng, st.ReplayHits, st.Fallbacks, st.Executes)
+	}
+	if total := st.MemoHits + st.MemoMisses; total > 0 {
+		fmt.Printf("channel memo: %d/%d transmit hits (%.1f%%)\n",
+			st.MemoHits, total, 100*float64(st.MemoHits)/float64(total))
+	}
 }
 
 func cmdFig11(args []string) error {
@@ -258,7 +283,12 @@ func cmdFig11(args []string) error {
 	size := fs.Int("size", defects.DefaultLibrarySize, "defect library size")
 	seed := fs.Int64("seed", 1, "random seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of a chart")
+	engine := fs.String("engine", "auto", "simulation engine: auto, execute, or replay")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
 		return err
 	}
 	addr, data, err := setups()
@@ -277,7 +307,8 @@ func cmdFig11(args []string) error {
 	if err != nil {
 		return err
 	}
-	pts, err := sim.Fig11Campaign(addr, data, busID, lib, false)
+	pts, err := sim.Fig11CampaignCtx(context.Background(), addr, data, busID, lib, false,
+		sim.CampaignOpts{Engine: eng})
 	if err != nil {
 		return err
 	}

@@ -3,6 +3,11 @@
 // worker pool shared across jobs, and serves status, progress streams,
 // results, metrics and cancellation. See internal/campaign for the API.
 //
+// A spec's "engine" field selects the simulation engine per job ("auto",
+// "execute" or "replay"; see internal/sim); progress events report how many
+// defects the replay tier resolved versus fell back to execution, and
+// /metrics exposes the aggregate engine and channel-memo counters.
+//
 // Usage:
 //
 //	xtalkd [-addr :8080] [-workers N] [-drain-timeout 30s]

@@ -1,0 +1,88 @@
+// Enforces the trace-replay engine's headline guarantee: a campaign run
+// with Engine: Auto (replay + divergence fallback) renders byte-identical
+// CampaignResult JSON to the execute-only reference engine for the full E5
+// campaign on both busses.
+package repro_test
+
+import (
+	"bytes"
+	"context"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/defects"
+	"repro/internal/parwan"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+func TestEngineByteIdentityE5(t *testing.T) {
+	size := 1000 // the paper's library size
+	if testing.Short() {
+		size = 120
+	}
+	addr, data, err := sim.DefaultSetups()
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := core.Generate(core.GenConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := sim.NewRunner(plan, addr, data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	busses := []struct {
+		name  string
+		bus   core.BusID
+		setup sim.BusSetup
+		seed  int64
+		width int
+	}{
+		{"addr", core.AddrBus, addr, 3001, parwan.AddrBits},
+		{"data", core.DataBus, data, 3002, parwan.DataBits},
+	}
+	for _, bc := range busses {
+		bc := bc
+		t.Run(bc.name, func(t *testing.T) {
+			lib, err := defects.Generate(bc.setup.Nominal, bc.setup.Thresholds,
+				defects.Config{Size: size, Seed: bc.seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			render := func(eng sim.Engine) []byte {
+				res, err := r.CampaignCtx(context.Background(), bc.bus, lib,
+					sim.CampaignOpts{Engine: eng})
+				if err != nil {
+					t.Fatal(err)
+				}
+				var buf bytes.Buffer
+				if err := report.WriteCampaignJSON(&buf, res, bc.width); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			exec := render(sim.Execute)
+			auto := render(sim.Auto)
+			if !bytes.Equal(exec, auto) {
+				for i := 0; i < len(exec) && i < len(auto); i++ {
+					if exec[i] != auto[i] {
+						lo, hi := i-80, i+80
+						if lo < 0 {
+							lo = 0
+						}
+						if hi > len(exec) {
+							hi = len(exec)
+						}
+						t.Fatalf("campaign JSON diverges at byte %d:\nexecute: %s\nauto:    %s",
+							i, exec[lo:hi], auto[lo:min(hi, len(auto))])
+					}
+				}
+				t.Fatalf("campaign JSON lengths differ: execute %d, auto %d", len(exec), len(auto))
+			}
+			t.Logf("%s bus: %d defects, %d bytes of campaign JSON byte-identical across engines",
+				bc.name, size, len(exec))
+		})
+	}
+}

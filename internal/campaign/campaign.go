@@ -57,6 +57,11 @@ type Spec struct {
 	// Workers caps this job's concurrent defect runs; zero means "up to the
 	// shared pool size". The shared pool bounds total concurrency anyway.
 	Workers int `json:"workers,omitempty"`
+	// Engine selects the simulation engine: "auto" (trace replay with
+	// execution fallback, exact), "execute" (full execution for every
+	// defect), or "replay" (screening only; see sim.Replay). Empty selects
+	// "auto".
+	Engine string `json:"engine,omitempty"`
 }
 
 // normalized returns the spec with generation defaults applied, so cache
@@ -70,6 +75,9 @@ func (s Spec) normalized() Spec {
 	}
 	if s.CthFactor == 0 {
 		s.CthFactor = crosstalk.DefaultCthFactor
+	}
+	if s.Engine == "" {
+		s.Engine = sim.Auto.String()
 	}
 	return s
 }
@@ -90,12 +98,21 @@ func (s Spec) validate() error {
 	if s.Workers < 0 {
 		return fmt.Errorf("campaign: negative workers %d", s.Workers)
 	}
+	if _, err := sim.ParseEngine(s.Engine); err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
 	if len(s.Plan) > 0 {
 		if _, err := core.ReadPlan(bytes.NewReader(s.Plan)); err != nil {
 			return fmt.Errorf("campaign: inline plan: %w", err)
 		}
 	}
 	return nil
+}
+
+// engine resolves the spec's engine name; validate has already vetted it.
+func (s Spec) engine() sim.Engine {
+	e, _ := sim.ParseEngine(s.Engine)
+	return e
 }
 
 func (s Spec) busID() core.BusID {
@@ -122,12 +139,17 @@ const (
 func (s State) Terminal() bool { return s == Done || s == Failed || s == Canceled }
 
 // Progress is one progress event: counts over the defect library so far.
+// ReplayHits counts defects the replay tier resolved without CPU execution;
+// Executed counts defects that needed full execution (a fallback under the
+// auto engine, every defect under the execute engine).
 type Progress struct {
 	State       State `json:"state"`
 	Done        int   `json:"done"`
 	Total       int   `json:"total"`
 	Detected    int   `json:"detected"`
 	Activations int64 `json:"activations"`
+	ReplayHits  int   `json:"replay_hits"`
+	Executed    int   `json:"executed"`
 }
 
 // Status is a point-in-time snapshot of a job, JSON-ready.
@@ -279,6 +301,10 @@ type Metrics struct {
 	LibraryCacheMisses int64 `json:"library_cache_misses"`
 	Workers            int   `json:"workers"`
 	BusyWorkers        int   `json:"busy_workers"`
+	// Engine is the aggregate of every cached runner's engine counters:
+	// replay-tier hits, execution fallbacks, forced executions, screening
+	// verdicts, and channel-memo traffic (see sim.EngineStats).
+	Engine sim.EngineStats `json:"engine"`
 }
 
 // Config tunes a Manager.
@@ -334,7 +360,20 @@ func (m *Manager) Workers() int { return cap(m.slots) }
 
 // Metrics snapshots the counters.
 func (m *Manager) Metrics() Metrics {
+	var eng sim.EngineStats
+	m.mu.Lock()
+	for _, r := range m.runners {
+		s := r.Stats()
+		eng.ReplayHits += s.ReplayHits
+		eng.Fallbacks += s.Fallbacks
+		eng.Executes += s.Executes
+		eng.Screened += s.Screened
+		eng.MemoHits += s.MemoHits
+		eng.MemoMisses += s.MemoMisses
+	}
+	m.mu.Unlock()
 	return Metrics{
+		Engine:             eng,
 		JobsSubmitted:      m.jobsSubmitted.Load(),
 		JobsCompleted:      m.jobsCompleted.Load(),
 		JobsFailed:         m.jobsFailed.Load(),
@@ -663,6 +702,11 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, e
 			p.Detected++
 		}
 		p.Activations += int64(job.outcomes[i].Activations)
+		if job.outcomes[i].Replayed {
+			p.ReplayHits++
+		} else {
+			p.Executed++
+		}
 	}
 	job.progress = p
 	job.publishLocked()
@@ -696,9 +740,15 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, e
 				job.progress.Detected++
 			}
 			job.progress.Activations += int64(out.Activations)
+			if out.Replayed {
+				job.progress.ReplayHits++
+			} else {
+				job.progress.Executed++
+			}
 			m.defectsSimulated.Add(1)
 			job.publishLocked()
 		},
+		Engine: spec.engine(),
 	}
 	return runner.CampaignCtx(ctx, spec.busID(), lib, opts)
 }

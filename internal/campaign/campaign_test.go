@@ -136,10 +136,12 @@ func TestCacheReuseAcrossJobs(t *testing.T) {
 }
 
 func TestCancelStopsPromptly(t *testing.T) {
-	// One worker makes the run long enough to cancel mid-campaign.
+	// One worker and the execute engine (no replay shortcut) make the run
+	// long enough to cancel mid-campaign.
 	m := New(Config{Workers: 1})
 	spec := smallSpec()
-	spec.Size = 200
+	spec.Size = 400
+	spec.Engine = "execute"
 	job, err := m.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -176,7 +178,8 @@ func TestCancelStopsPromptly(t *testing.T) {
 func TestResumeSkipsCheckpointedDefects(t *testing.T) {
 	m := New(Config{Workers: 1})
 	spec := smallSpec()
-	spec.Size = 120
+	spec.Size = 400
+	spec.Engine = "execute"
 	job, err := m.Submit(spec)
 	if err != nil {
 		t.Fatal(err)
@@ -243,6 +246,58 @@ func TestProgressIsMonotone(t *testing.T) {
 	}
 }
 
+// TestEngineSpecAndCounters submits the same campaign under the auto and
+// execute engines: the rendered results must be byte-identical, the job
+// progress must attribute every defect to replay or execution, and the
+// manager metrics must aggregate the runner's engine counters.
+func TestEngineSpecAndCounters(t *testing.T) {
+	m := New(Config{Workers: 2})
+	auto, err := m.Submit(smallSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, auto)
+	st := auto.Status()
+	if st.Spec.Engine != "auto" {
+		t.Fatalf("normalized engine = %q, want auto", st.Spec.Engine)
+	}
+	if st.Progress.ReplayHits+st.Progress.Executed != st.Progress.Done {
+		t.Fatalf("replay %d + executed %d != done %d",
+			st.Progress.ReplayHits, st.Progress.Executed, st.Progress.Done)
+	}
+	mt := m.Metrics()
+	if got := mt.Engine.ReplayHits + mt.Engine.Fallbacks; got != int64(st.Progress.Done) {
+		t.Fatalf("engine replay %d + fallbacks %d != %d defects",
+			mt.Engine.ReplayHits, mt.Engine.Fallbacks, st.Progress.Done)
+	}
+	if mt.Engine.Executes != 0 || mt.Engine.Screened != 0 {
+		t.Fatalf("auto campaign counted executes=%d screened=%d", mt.Engine.Executes, mt.Engine.Screened)
+	}
+	if mt.Engine.MemoMisses == 0 {
+		t.Fatal("memoized channels recorded no traffic")
+	}
+
+	spec := smallSpec()
+	spec.Engine = "execute"
+	exec, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, exec)
+	est := exec.Status()
+	if est.Progress.ReplayHits != 0 || est.Progress.Executed != est.Progress.Done {
+		t.Fatalf("execute progress %+v, want all defects executed", est.Progress)
+	}
+	if got := m.Metrics().Engine.Executes; got != int64(est.Progress.Done) {
+		t.Fatalf("engine executes = %d, want %d", got, est.Progress.Done)
+	}
+	ar, aw, _ := auto.Result()
+	er, ew, _ := exec.Result()
+	if !bytes.Equal(renderJSON(t, ar, aw), renderJSON(t, er, ew)) {
+		t.Fatal("auto and execute engine results differ")
+	}
+}
+
 func TestSubmitValidation(t *testing.T) {
 	m := New(Config{Workers: 1})
 	bad := []Spec{
@@ -251,6 +306,7 @@ func TestSubmitValidation(t *testing.T) {
 		{Bus: "addr", Sigma: -0.5},
 		{Bus: "addr", Workers: -2},
 		{Bus: "addr", Plan: []byte(`{"programs": 42}`)},
+		{Bus: "addr", Engine: "warp"},
 	}
 	for _, spec := range bad {
 		if _, err := m.Submit(spec); err == nil {

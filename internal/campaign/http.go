@@ -186,4 +186,10 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "xtalkd_library_cache_misses_total %d\n", m.LibraryCacheMisses)
 	fmt.Fprintf(w, "xtalkd_workers %d\n", m.Workers)
 	fmt.Fprintf(w, "xtalkd_workers_busy %d\n", m.BusyWorkers)
+	fmt.Fprintf(w, "xtalkd_engine_replay_hits_total %d\n", m.Engine.ReplayHits)
+	fmt.Fprintf(w, "xtalkd_engine_fallbacks_total %d\n", m.Engine.Fallbacks)
+	fmt.Fprintf(w, "xtalkd_engine_executes_total %d\n", m.Engine.Executes)
+	fmt.Fprintf(w, "xtalkd_engine_screened_total %d\n", m.Engine.Screened)
+	fmt.Fprintf(w, "xtalkd_channel_memo_hits_total %d\n", m.Engine.MemoHits)
+	fmt.Fprintf(w, "xtalkd_channel_memo_misses_total %d\n", m.Engine.MemoMisses)
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -137,8 +138,11 @@ func TestHTTPResultBeforeDoneAndUnknownJob(t *testing.T) {
 
 func TestHTTPCancelAndResume(t *testing.T) {
 	m, ts := newTestServer(t, 1)
+	// Force the execute engine with a larger library so the job is slow
+	// enough for the cancel to land mid-campaign; under the default auto
+	// engine replay resolves defects too quickly for the HTTP round trip.
 	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/campaigns",
-		`{"bus":"addr","size":200,"seed":2,"target_only":true}`)
+		`{"bus":"addr","size":600,"seed":2,"target_only":true,"engine":"execute"}`)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit: %d: %s", resp.StatusCode, body)
 	}
@@ -188,7 +192,9 @@ func TestHTTPCancelAndResume(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("result after resume: %d: %s", resp.StatusCode, body)
 	}
-	direct, width := directResult(t, Spec{Bus: "addr", Size: 200, Seed: 2, TargetOnly: true})
+	// The direct run uses the default auto engine: engines agree byte for
+	// byte, so the comparison doubles as a service-level equivalence check.
+	direct, width := directResult(t, Spec{Bus: "addr", Size: 600, Seed: 2, TargetOnly: true})
 	if want := renderJSON(t, direct, width); !bytes.Equal(body, want) {
 		t.Fatal("resumed HTTP result differs from direct render")
 	}
@@ -235,6 +241,7 @@ func TestHTTPBadSubmissions(t *testing.T) {
 		`{`,
 		`{"bus":"ctrl"}`,
 		`{"bus":"addr","bogus_field":1}`,
+		`{"bus":"addr","engine":"warp"}`,
 	} {
 		resp, _ := doJSON(t, http.MethodPost, ts.URL+"/v1/campaigns", body)
 		if resp.StatusCode != http.StatusBadRequest {
@@ -262,9 +269,37 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 		"xtalkd_defects_simulated_total 60",
 		"xtalkd_golden_cache_misses_total 1",
 		"xtalkd_workers 2",
+		"xtalkd_engine_replay_hits_total ",
+		"xtalkd_engine_fallbacks_total ",
+		"xtalkd_engine_executes_total 0",
+		"xtalkd_engine_screened_total 0",
+		"xtalkd_channel_memo_hits_total ",
+		"xtalkd_channel_memo_misses_total ",
 	} {
 		if !strings.Contains(text, want) {
 			t.Errorf("metrics missing %q:\n%s", want, text)
 		}
 	}
+	// The auto engine resolves every defect by replay or by fallback
+	// execution, so the two counters sum to the defect count.
+	if got := metricValue(t, text, "xtalkd_engine_replay_hits_total") +
+		metricValue(t, text, "xtalkd_engine_fallbacks_total"); got != 60 {
+		t.Errorf("replay hits + fallbacks = %d, want 60:\n%s", got, text)
+	}
+	if metricValue(t, text, "xtalkd_channel_memo_misses_total") == 0 {
+		t.Errorf("memoized channels recorded no traffic:\n%s", text)
+	}
+}
+
+// metricValue extracts one counter from the text exposition.
+func metricValue(t *testing.T, text, name string) int64 {
+	t.Helper()
+	for _, line := range strings.Split(text, "\n") {
+		var v int64
+		if _, err := fmt.Sscanf(line, name+" %d", &v); err == nil {
+			return v
+		}
+	}
+	t.Fatalf("metric %s not found in:\n%s", name, text)
+	return 0
 }

@@ -2,6 +2,7 @@ package crosstalk
 
 import (
 	"fmt"
+	"math/bits"
 
 	"repro/internal/logic"
 	"repro/internal/maf"
@@ -36,12 +37,41 @@ type WireAnalysis struct {
 	Delay float64
 }
 
+// memoEntry is one cached transmit outcome. The events slice is shared by
+// every memo hit, so callers must treat returned event slices as read-only —
+// which the soc and sim layers do (they only read and count them).
+type memoEntry struct {
+	received logic.Word
+	events   []Event
+}
+
+// memoCap bounds a channel's memo so a long-lived memoized channel (e.g. the
+// nominal channel of a campaign service) cannot grow without limit. Past the
+// cap, transmits are still computed correctly but no longer inserted.
+const memoCap = 1 << 20
+
 // Channel transmits bus words through the crosstalk model: a parameter set
 // (possibly a perturbed, defective one) judged against a fixed threshold set
 // derived from the nominal geometry.
+//
+// A plain channel is stateless and safe for concurrent use. A channel with
+// memoization enabled (EnableMemo) carries a transmit cache and must be
+// confined to one goroutine at a time.
 type Channel struct {
 	p  *Params
 	th Thresholds
+
+	// ctot[i] is the victim's total coupling Σ_{j≠i} Cc[i][j], accumulated
+	// in ascending j order so it is bit-identical to the sum Analyze forms;
+	// precomputing it lets the transmit glitch path visit only the switching
+	// aggressors instead of every wire.
+	ctot []float64
+
+	// memo caches transmit outcomes keyed by the packed (prev, next, dir)
+	// triple: prev<<(width+1) | next<<1 | dir. The channel's parameter and
+	// threshold sets are fixed, so the key fully determines the outcome.
+	memo                 map[uint64]memoEntry
+	memoHits, memoMisses uint64
 }
 
 // NewChannel builds a channel over the given (possibly defective) parameters
@@ -53,7 +83,15 @@ func NewChannel(p *Params, th Thresholds) (*Channel, error) {
 	if err := th.Validate(); err != nil {
 		return nil, err
 	}
-	return &Channel{p: p, th: th}, nil
+	ctot := make([]float64, p.Width)
+	for i := 0; i < p.Width; i++ {
+		for j := 0; j < p.Width; j++ {
+			if j != i {
+				ctot[i] += p.Cc[i][j]
+			}
+		}
+	}
+	return &Channel{p: p, th: th, ctot: ctot}, nil
 }
 
 // Params returns the channel's parameter set.
@@ -64,6 +102,30 @@ func (c *Channel) Thresholds() Thresholds { return c.th }
 
 // Width returns the bus width.
 func (c *Channel) Width() int { return c.p.Width }
+
+// EnableMemo switches the channel to memoized transmission: each distinct
+// (previous word, next word, direction) triple is analysed once and its
+// outcome cached. A defect-simulation campaign's transition working set is
+// tiny compared to the number of transmissions (programs replay the same
+// traffic, and hung runs loop over a handful of transitions), so the memo
+// converts the O(W²) analogue analysis of the hot path into a map lookup.
+// A memoized channel must be confined to a single goroutine. Busses wider
+// than 31 wires cannot pack a transition into the memo key; for them
+// EnableMemo is a no-op and transmission stays uncached (and correct).
+func (c *Channel) EnableMemo() {
+	if c.memo == nil && 2*c.p.Width+1 <= 64 {
+		c.memo = make(map[uint64]memoEntry)
+	}
+}
+
+// TakeMemoStats returns the number of memoized transmit hits and misses
+// accumulated since the last call, and resets both counters to zero. The
+// sim layer drains these per defect run into campaign-wide totals.
+func (c *Channel) TakeMemoStats() (hits, misses uint64) {
+	hits, misses = c.memoHits, c.memoMisses
+	c.memoHits, c.memoMisses = 0, 0
+	return hits, misses
+}
 
 // Analyze computes the analogue crosstalk response of every wire for the
 // transition v1 -> v2 driven in direction dir, without thresholding.
@@ -124,29 +186,106 @@ func (c *Channel) Analyze(v1, v2 logic.Word, dir maf.Direction) []WireAnalysis {
 // (empty when the transfer is clean). A wire whose transition is delayed past
 // the sampling slack latches its previous value; a stable wire whose glitch
 // peak exceeds the receiver threshold latches the flipped value.
+//
+// When memoization is enabled, repeated transitions return the cached
+// outcome; the returned events slice is then shared and must not be mutated.
 func (c *Channel) Transmit(v1, v2 logic.Word, dir maf.Direction) (logic.Word, []Event) {
-	analysis := c.Analyze(v1, v2, dir)
+	if c.memo == nil {
+		return c.transmit(v1, v2, dir)
+	}
+	k := v1.Uint64()<<uint(c.p.Width+1) | v2.Uint64()<<1 | uint64(dir)&1
+	if e, ok := c.memo[k]; ok {
+		c.memoHits++
+		return e.received, e.events
+	}
+	c.memoMisses++
+	received, events := c.transmit(v1, v2, dir)
+	if len(c.memo) < memoCap {
+		c.memo[k] = memoEntry{received: received, events: events}
+	}
+	return received, events
+}
+
+// transmit is the uncached transmission path. It is the fused form of
+// Analyze followed by thresholding — same arithmetic, same visit order —
+// but works on the raw bit vectors and allocates nothing on a clean
+// transfer, which matters because it sits under every bus transaction of
+// every simulated defect run (TestTransmitMatchesAnalyze pins the
+// equivalence).
+func (c *Channel) transmit(v1, v2 logic.Word, dir maf.Direction) (logic.Word, []Event) {
+	if v1.Width() != c.p.Width || v2.Width() != c.p.Width {
+		panic(fmt.Sprintf("crosstalk: word width %d/%d does not match %d-wire channel",
+			v1.Width(), v2.Width(), c.p.Width))
+	}
+	a, b := v1.Uint64(), v2.Uint64()
+	edges := a ^ b
+	if edges == 0 {
+		// No wire switches: no delays (no edges) and no coupled charge
+		// (glitch thresholds are validated positive), so the transfer is
+		// clean by construction.
+		return v2, nil
+	}
 	received := v2
 	var events []Event
-	for i, wa := range analysis {
-		if wa.Transition.IsEdge() {
-			if wa.Delay > c.th.Slack[dir] {
-				received = received.WithBit(i, v1.Bit(i))
+	r := c.p.RDrive[dir]
+	slack := c.th.Slack[dir]
+	for i := 0; i < c.p.Width; i++ {
+		bitI := uint64(1) << uint(i)
+		cci := c.p.Cc[i]
+		if edges&bitI != 0 {
+			// Miller-weighted Elmore delay: opposing aggressor edges count
+			// double, quiet aggressors once, same-direction edges zero. Two
+			// switching wires oppose exactly when their final levels differ.
+			ceff := c.p.Cg[i]
+			for j := 0; j < c.p.Width; j++ {
+				if j == i {
+					continue
+				}
+				bitJ := uint64(1) << uint(j)
+				if edges&bitJ != 0 {
+					if (b&bitI != 0) != (b&bitJ != 0) {
+						ceff += 2 * cci[j]
+					}
+				} else {
+					ceff += cci[j]
+				}
+			}
+			if delay := ln2 * r * ceff; delay > slack {
+				received = received.WithBit(i, uint(a>>uint(i))&1)
 				kind := maf.RisingDelay
-				if wa.Transition == logic.Falling {
+				if b&bitI == 0 {
 					kind = maf.FallingDelay
 				}
-				events = append(events, Event{Wire: i, Kind: kind, Magnitude: wa.Delay})
+				events = append(events, Event{Wire: i, Kind: kind, Magnitude: delay})
 			}
 			continue
 		}
-		if wa.GlitchFrac > c.th.GlitchFrac {
+		// Stable victim: net coupled charge from switching aggressors.
+		// Rising aggressors push the victim up, falling aggressors pull it
+		// down; the sign convention makes "toward the flip" positive. Only
+		// the switching wires contribute, so walk the set bits of the edge
+		// mask (ascending, matching Analyze's accumulation order exactly)
+		// and use the precomputed total coupling for the charge divider.
+		var push float64
+		for e := edges; e != 0; e &= e - 1 {
+			bitJ := e & -e
+			cc := cci[bits.TrailingZeros64(e)]
+			if b&bitJ != 0 {
+				push += cc
+			} else {
+				push -= cc
+			}
+		}
+		if a&bitI != 0 {
+			push = -push // a downward pull flips a high wire
+		}
+		if g := push / (c.p.Cg[i] + c.ctot[i]); g > c.th.GlitchFrac {
 			received = received.FlipBit(i)
 			kind := maf.PositiveGlitch
-			if wa.Transition == logic.Stable1 {
+			if a&bitI != 0 {
 				kind = maf.NegativeGlitch
 			}
-			events = append(events, Event{Wire: i, Kind: kind, Magnitude: wa.GlitchFrac})
+			events = append(events, Event{Wire: i, Kind: kind, Magnitude: g})
 		}
 	}
 	return received, events

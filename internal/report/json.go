@@ -64,7 +64,14 @@ func sortedFaultCounts(m map[maf.Fault]int) []FaultCountJSON {
 		if a.Kind != b.Kind {
 			return a.Kind < b.Kind
 		}
-		return a.Dir < b.Dir
+		if a.Dir != b.Dir {
+			return a.Dir < b.Dir
+		}
+		// A combined plan can attribute one defect to same-named faults of
+		// both busses (e.g. dr[1]/fwd at widths 8 and 12); without this
+		// tie-break the order falls to map iteration and the JSON is not
+		// byte-stable.
+		return a.Width < b.Width
 	})
 	out := make([]FaultCountJSON, 0, len(faults))
 	for _, f := range faults {

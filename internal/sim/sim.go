@@ -10,6 +10,12 @@
 // of its effects — including corrupted fetches that crash or hang the
 // program, which a tester would observe as a timeout — contribute to the
 // outcome.
+//
+// The runner is a two-tier engine (see Engine): golden transaction traces
+// captured at construction let most defect runs be decided by replaying the
+// trace through the defective channel alone, falling back to full CPU
+// execution — resumed from the golden snapshot at the first diverging
+// transaction — only when the defect actually fires.
 package sim
 
 import (
@@ -63,7 +69,9 @@ type RunResult struct {
 	Events int
 }
 
-// Runner executes a self-test plan against nominal or defective busses.
+// Runner executes a self-test plan against nominal or defective busses. It
+// is safe for concurrent use: defect runs share only immutable golden state,
+// a pool of reusable execution rigs, and atomic counters.
 type Runner struct {
 	plan *core.Plan
 	addr BusSetup
@@ -71,15 +79,28 @@ type Runner struct {
 
 	golden       []RunResult // per session program
 	goldenCycles uint64
+
+	traces   []sessionTrace // golden transaction traces, per session
+	images   [][]byte       // rendered program images, per session
+	replayOK bool           // golden traffic is event-free (replay precondition)
+	pool     sync.Pool      // *execUnit
+
+	replayHits atomic.Int64
+	fallbacks  atomic.Int64
+	executes   atomic.Int64
+	screened   atomic.Int64
+	memoHits   atomic.Int64
+	memoMisses atomic.Int64
 }
 
 // NewRunner builds a runner and executes the golden (defect-free) reference
-// runs. It fails if any golden run does not halt cleanly — a plan whose
-// programs misbehave on a good chip is a generation bug, not a test result.
+// runs, capturing each session's transaction trace for the replay engine.
+// It fails if any golden run does not halt cleanly — a plan whose programs
+// misbehave on a good chip is a generation bug, not a test result.
 func NewRunner(plan *core.Plan, addr, data BusSetup) (*Runner, error) {
-	r := &Runner{plan: plan, addr: addr, data: data}
+	r := &Runner{plan: plan, addr: addr, data: data, replayOK: true}
 	for _, prog := range plan.Programs {
-		res, err := r.runProgram(prog, addr.Nominal, data.Nominal)
+		res, st, err := r.captureGolden(prog)
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +108,16 @@ func NewRunner(plan *core.Plan, addr, data BusSetup) (*Runner, error) {
 			return nil, fmt.Errorf("sim: golden run of session %d failed (halted=%v err=%v)",
 				prog.Session, res.Halted, res.ExecErr)
 		}
+		if res.Events > 0 {
+			// The nominal busses already err on the golden traffic (possible
+			// under aggressive threshold factors): "identical to golden"
+			// can no longer be read off the trace, so replay is disabled
+			// and every engine degrades to Execute.
+			r.replayOK = false
+		}
 		r.golden = append(r.golden, res)
+		r.traces = append(r.traces, st)
+		r.images = append(r.images, prog.Image.Bytes())
 		r.goldenCycles += res.Cycles
 	}
 	return r, nil
@@ -154,11 +184,24 @@ type Outcome struct {
 	// Activations counts crosstalk error events across all session runs —
 	// how many times the defect fired while the programs executed.
 	Activations int
+	// Replayed is true when the outcome was settled without any CPU
+	// execution: every session's trace replayed cleanly (Auto), or the
+	// defect was screened by replay alone (Replay). Diagnostic only — it is
+	// deliberately excluded from campaign reports so engines stay
+	// byte-identical.
+	Replayed bool `json:"-"`
 }
 
 // RunDefect simulates one defective parameter set on the given bus (the
-// other bus stays nominal) across every session program.
+// other bus stays nominal) across every session program, with the default
+// Auto engine.
 func (r *Runner) RunDefect(bus core.BusID, defective *crosstalk.Params) (Outcome, error) {
+	return r.RunDefectEngine(bus, defective, Auto)
+}
+
+// runDefectExecute is the Execute tier: the paper's Fig. 9 flow verbatim, a
+// complete CPU execution of every session program on freshly built systems.
+func (r *Runner) runDefectExecute(bus core.BusID, defective *crosstalk.Params) (Outcome, error) {
 	out := Outcome{Bus: bus}
 	seen := make(map[maf.Fault]bool)
 	for i, prog := range r.plan.Programs {
@@ -173,30 +216,39 @@ func (r *Runner) RunDefect(bus core.BusID, defective *crosstalk.Params) (Outcome
 		if err != nil {
 			return Outcome{}, err
 		}
-		out.Activations += res.Events
-		if !res.Halted || res.ExecErr != nil {
-			out.Detected = true
-			out.Crashed = true
-		}
-		golden := r.golden[i]
-		for _, a := range prog.Applied {
-			mismatch := false
-			for _, cell := range a.ResponseCells {
-				if res.Responses[cell] != golden.Responses[cell] {
-					mismatch = true
-					break
-				}
+		r.judge(&out, i, prog, res, seen)
+	}
+	return out, nil
+}
+
+// judge folds one session run into a defect outcome: activation counting,
+// crash/hang detection, and response-cell comparison against golden with
+// per-test attribution. It is the single verdict path shared by the Execute
+// tier and the Auto tier's divergence fallback, which is what keeps the two
+// engines byte-identical.
+func (r *Runner) judge(out *Outcome, session int, prog *core.TestProgram, res RunResult, seen map[maf.Fault]bool) {
+	out.Activations += res.Events
+	if !res.Halted || res.ExecErr != nil {
+		out.Detected = true
+		out.Crashed = true
+	}
+	golden := r.golden[session]
+	for _, a := range prog.Applied {
+		mismatch := false
+		for _, cell := range a.ResponseCells {
+			if res.Responses[cell] != golden.Responses[cell] {
+				mismatch = true
+				break
 			}
-			if mismatch {
-				out.Detected = true
-				if !seen[a.MA.Fault] {
-					seen[a.MA.Fault] = true
-					out.DetectedBy = append(out.DetectedBy, a.MA.Fault)
-				}
+		}
+		if mismatch {
+			out.Detected = true
+			if !seen[a.MA.Fault] {
+				seen[a.MA.Fault] = true
+				out.DetectedBy = append(out.DetectedBy, a.MA.Fault)
 			}
 		}
 	}
-	return out, nil
 }
 
 // CampaignResult aggregates a defect library's outcomes.
@@ -224,10 +276,14 @@ func (c *CampaignResult) Coverage() float64 {
 }
 
 // CampaignOpts tunes a campaign run. The zero value reproduces the classic
-// Campaign behaviour: one worker per CPU, no hooks, no external limiter.
+// Campaign behaviour: one worker per CPU, the Auto engine, no hooks, no
+// external limiter.
 type CampaignOpts struct {
 	// Workers is the number of worker goroutines; zero selects GOMAXPROCS.
 	Workers int
+	// Engine selects the simulation strategy per defect; the zero value is
+	// Auto (replay with execution fallback, byte-identical to Execute).
+	Engine Engine
 	// Slots, when non-nil, is a shared concurrency limiter: each defect run
 	// sends a token before executing and receives it back after. A service
 	// scheduling several campaigns passes the same buffered channel to all
@@ -302,7 +358,7 @@ func (r *Runner) CampaignCtx(ctx context.Context, bus core.BusID, lib *defects.L
 				if opts.Slots != nil {
 					opts.Slots <- struct{}{}
 				}
-				out, err := r.RunDefect(bus, lib.Defects[i].Params)
+				out, err := r.RunDefectEngine(bus, lib.Defects[i].Params, opts.Engine)
 				if opts.Slots != nil {
 					<-opts.Slots
 				}
@@ -388,6 +444,15 @@ type WirePoint struct {
 // polluted by incidental activations of strong defects during other tests'
 // traffic.
 func Fig11Campaign(addr, data BusSetup, bus core.BusID, lib *defects.Library, compaction bool) ([]WirePoint, error) {
+	return Fig11CampaignCtx(context.Background(), addr, data, bus, lib, compaction, CampaignOpts{})
+}
+
+// Fig11CampaignCtx is Fig11Campaign with cancellation and campaign options.
+// Each wire's defect library runs through CampaignCtx, so the per-wire runs
+// use the worker pool and the selected engine instead of a serial defect
+// loop. Only Workers, Slots, and Engine are honoured; the per-defect hooks
+// (OnOutcome, Skip) are index-scoped to a single campaign and are ignored.
+func Fig11CampaignCtx(ctx context.Context, addr, data BusSetup, bus core.BusID, lib *defects.Library, compaction bool, opts CampaignOpts) ([]WirePoint, error) {
 	width := addr.Nominal.Width
 	if bus == core.DataBus {
 		width = data.Nominal.Width
@@ -396,6 +461,7 @@ func Fig11Campaign(addr, data BusSetup, bus core.BusID, lib *defects.Library, co
 	if total == 0 {
 		return nil, fmt.Errorf("sim: empty defect library")
 	}
+	opts.OnOutcome, opts.Skip = nil, nil
 	detected := make([][]bool, width)
 	for w := 0; w < width; w++ {
 		w := w
@@ -416,11 +482,11 @@ func Fig11Campaign(addr, data BusSetup, bus core.BusID, lib *defects.Library, co
 		if err != nil {
 			return nil, err
 		}
-		for i, d := range lib.Defects {
-			out, err := r.RunDefect(bus, d.Params)
-			if err != nil {
-				return nil, err
-			}
+		res, err := r.CampaignCtx(ctx, bus, lib, opts)
+		if err != nil {
+			return nil, err
+		}
+		for i, out := range res.Outcomes {
 			detected[w][i] = out.Detected
 		}
 	}

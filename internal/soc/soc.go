@@ -53,6 +53,7 @@ type Transaction struct {
 	DataPrev   uint8  // previous value held on the data bus
 	Ctrl       uint8  // control command driven (CtrlRead or CtrlWrite)
 	CtrlRecv   uint8  // control command received by the memory side
+	CtrlPrev   uint8  // previous command held on the control bus
 	AddrEvents []crosstalk.Event
 	DataEvents []crosstalk.Event
 	CtrlEvents []crosstalk.Event
@@ -75,9 +76,10 @@ func (tr Transaction) String() string {
 	return s
 }
 
-// Corrupted reports whether the transaction suffered any crosstalk error.
+// Corrupted reports whether the transaction suffered any crosstalk error on
+// the address, data, or control bus.
 func (tr Transaction) Corrupted() bool {
-	return len(tr.AddrEvents) > 0 || len(tr.DataEvents) > 0
+	return len(tr.AddrEvents) > 0 || len(tr.DataEvents) > 0 || len(tr.CtrlEvents) > 0
 }
 
 // Region maps a half-open address range onto a peripheral device. Offsets
@@ -117,20 +119,28 @@ type System struct {
 	errorCount int
 }
 
+// checkChannels validates the bus widths of a channel set (nil = ideal bus).
+func checkChannels(addr, data, ctrl *crosstalk.Channel) error {
+	if addr != nil && addr.Width() != parwan.AddrBits {
+		return fmt.Errorf("soc: address channel is %d wires, want %d",
+			addr.Width(), parwan.AddrBits)
+	}
+	if data != nil && data.Width() != parwan.DataBits {
+		return fmt.Errorf("soc: data channel is %d wires, want %d",
+			data.Width(), parwan.DataBits)
+	}
+	if ctrl != nil && ctrl.Width() != CtrlBits {
+		return fmt.Errorf("soc: control channel is %d wires, want %d",
+			ctrl.Width(), CtrlBits)
+	}
+	return nil
+}
+
 // New builds a system from cfg. The RAM always spans the full 4K space;
 // peripheral regions shadow it where they overlap.
 func New(cfg Config) (*System, error) {
-	if cfg.AddrChannel != nil && cfg.AddrChannel.Width() != parwan.AddrBits {
-		return nil, fmt.Errorf("soc: address channel is %d wires, want %d",
-			cfg.AddrChannel.Width(), parwan.AddrBits)
-	}
-	if cfg.DataChannel != nil && cfg.DataChannel.Width() != parwan.DataBits {
-		return nil, fmt.Errorf("soc: data channel is %d wires, want %d",
-			cfg.DataChannel.Width(), parwan.DataBits)
-	}
-	if cfg.CtrlChannel != nil && cfg.CtrlChannel.Width() != CtrlBits {
-		return nil, fmt.Errorf("soc: control channel is %d wires, want %d",
-			cfg.CtrlChannel.Width(), CtrlBits)
+	if err := checkChannels(cfg.AddrChannel, cfg.DataChannel, cfg.CtrlChannel); err != nil {
+		return nil, err
 	}
 	regions := append([]Region(nil), cfg.Peripherals...)
 	sort.Slice(regions, func(i, j int) bool { return regions[i].Base < regions[j].Base })
@@ -180,6 +190,55 @@ func (s *System) LoadImage(im *parwan.Image) {
 	s.RAM.Load(im.Bytes())
 	s.CPU.Reset()
 }
+
+// LoadBytes copies a prebuilt full memory image into RAM without touching
+// CPU or bus state; callers pair it with Reset. It lets a defect campaign
+// render each session program to bytes once and reuse the buffer across
+// thousands of runs instead of re-serialising the parwan.Image every time.
+func (s *System) LoadBytes(img []byte) { s.RAM.Load(img) }
+
+// Reset returns the system to its power-on state: CPU reset (including the
+// cycle and step counters), busses holding their initial values, and the
+// trace, transaction-sequence and error counters cleared. RAM contents are
+// left as-is — callers reload a full image via LoadImage or LoadBytes.
+// Reset is what lets the simulator reuse one System (and its 4K RAM and
+// channels) across defect runs instead of reallocating per run.
+func (s *System) Reset() {
+	s.prevAddr = logic.NewWord(0, parwan.AddrBits)
+	s.prevData = logic.NewWord(0, parwan.DataBits)
+	s.prevCtrl = logic.NewWord(CtrlRead, CtrlBits)
+	s.seq = 0
+	s.trace = s.trace[:0]
+	s.errorCount = 0
+	s.CPU.Reset()
+	s.CPU.Cycles, s.CPU.Steps = 0, 0
+}
+
+// SetChannels replaces the crosstalk channels routing the system's busses
+// (nil makes that bus ideal). Swapping channels on a Reset system is how a
+// campaign reuses one System across defects: only the defective bus's
+// channel changes per run, the nominal channels persist with their memo.
+func (s *System) SetChannels(addr, data, ctrl *crosstalk.Channel) error {
+	if err := checkChannels(addr, data, ctrl); err != nil {
+		return err
+	}
+	s.addrCh, s.dataCh, s.ctrlCh = addr, data, ctrl
+	return nil
+}
+
+// SetHeld forces the values the busses currently hold between transactions.
+// Together with direct CPU state assignment and Poke it lets the simulator
+// resume execution from a mid-program snapshot (the trace-replay engine's
+// divergence fallback) instead of re-executing a program from its entry.
+func (s *System) SetHeld(addr uint16, data uint8, ctrl uint8) {
+	s.prevAddr = logic.NewWord(uint64(addr), parwan.AddrBits)
+	s.prevData = logic.NewWord(uint64(data), parwan.DataBits)
+	s.prevCtrl = logic.NewWord(uint64(ctrl), CtrlBits)
+}
+
+// Seq returns the number of bus transactions performed since construction
+// or the last Reset.
+func (s *System) Seq() int { return s.seq }
 
 // device resolves an already-received (possibly corrupted) address to the
 // backing device and local offset.
@@ -264,11 +323,10 @@ func (s *System) Read(addr logic.Word) logic.Word {
 			Write: false, Addr: uint16(addr.Uint64()), AddrRecv: addrRecv,
 			Data: data, DataRecv: dataRecv,
 			AddrPrev: uint16(addrPrev.Uint64()), DataPrev: held,
-			Ctrl: CtrlRead, CtrlRecv: ctrlRecv,
+			Ctrl: CtrlRead, CtrlRecv: ctrlRecv, CtrlPrev: uint8(ctrlPrev.Uint64()),
 			AddrEvents: addrEvents, DataEvents: dataEvents, CtrlEvents: ctrlEvents,
 		})
 	}
-	_ = ctrlPrev
 	s.seq++
 	return logic.NewWord(uint64(dataRecv), parwan.DataBits)
 }
@@ -278,7 +336,7 @@ func (s *System) Read(addr logic.Word) logic.Word {
 // store: with the write strobe dropped the memory ignores the transfer
 // (whether or not it misreads a read strobe).
 func (s *System) Write(addr, data logic.Word) {
-	addrPrev, dataPrev := s.prevAddr, s.prevData
+	addrPrev, dataPrev, ctrlPrev := s.prevAddr, s.prevData, s.prevCtrl
 	ctrlRecv, ctrlEvents := s.transmitCtrl(CtrlWrite)
 	addrRecv, addrEvents := s.transmitAddr(addr)
 	dataRecv, dataEvents := s.transmitData(data, maf.Reverse)
@@ -291,7 +349,7 @@ func (s *System) Write(addr, data logic.Word) {
 			Write: true, Addr: uint16(addr.Uint64()), AddrRecv: addrRecv,
 			Data: uint8(data.Uint64()), DataRecv: dataRecv,
 			AddrPrev: uint16(addrPrev.Uint64()), DataPrev: uint8(dataPrev.Uint64()),
-			Ctrl: CtrlWrite, CtrlRecv: ctrlRecv,
+			Ctrl: CtrlWrite, CtrlRecv: ctrlRecv, CtrlPrev: uint8(ctrlPrev.Uint64()),
 			AddrEvents: addrEvents, DataEvents: dataEvents, CtrlEvents: ctrlEvents,
 		})
 	}
