@@ -10,12 +10,15 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/bist"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/crosstalk"
 	"repro/internal/defects"
+	"repro/internal/fleet"
 	"repro/internal/maf"
 	"repro/internal/parwan"
 	"repro/internal/report"
@@ -228,6 +231,45 @@ func BenchmarkE5_EngineExecute(b *testing.B) { benchE5Engine(b, sim.Execute) }
 // (trace replay, memoized channels, pooled systems, snapshot-resumed
 // execution fallback) — byte-identical results to Execute.
 func BenchmarkE5_EngineAuto(b *testing.B) { benchE5Engine(b, sim.Auto) }
+
+// BenchmarkE5_Fleet4Workers measures the same E5 campaign dispatched by a
+// fleet coordinator across 4 in-process worker nodes (HTTP shard transfer
+// included) — the BENCH_PR4.json comparison against BenchmarkE5_EngineAuto.
+// On one machine the fleet shares the standalone run's cores, so this
+// records distribution overhead, not speedup; the subsystem's scaling axis
+// is many machines.
+func BenchmarkE5_Fleet4Workers(b *testing.B) {
+	coord := fleet.NewCoordinator(fleet.CoordinatorConfig{})
+	for i := 0; i < 4; i++ {
+		ts := httptest.NewServer(fleet.NewWorker(campaign.New(campaign.Config{})))
+		b.Cleanup(ts.Close)
+		coord.Register(ts.URL)
+	}
+	addrSpec := campaign.Spec{Bus: "addr", Size: benchLibrarySize, Seed: 3001}
+	dataSpec := campaign.Spec{Bus: "data", Size: benchLibrarySize, Seed: 3002}
+	// Warm the workers' golden-runner and library caches, as benchE5Engine's
+	// setup does outside the timer.
+	for _, spec := range []campaign.Spec{addrSpec, dataSpec} {
+		if _, _, _, err := coord.RunCampaign(context.Background(), spec, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	var fs fleet.FleetStats
+	for i := 0; i < b.N; i++ {
+		for _, spec := range []campaign.Spec{addrSpec, dataSpec} {
+			_, _, st, err := coord.RunCampaign(context.Background(), spec, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			fs.Shards += st.Shards
+			fs.ReplayHits += st.ReplayHits
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(fs.Shards)/float64(b.N), "shards/op")
+	b.ReportMetric(float64(fs.ReplayHits)/float64(b.N), "replay-hits/op")
+}
 
 // BenchmarkE6_BaselineComparison regenerates the paper's comparison claims
 // (§1): software-based self-test has zero hardware overhead and no

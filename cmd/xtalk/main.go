@@ -8,6 +8,7 @@
 //	xtalk params  [-width N] [-cth F] [-o file]
 //	xtalk defects [-bus addr|data] [-size N] [-sigma S] [-seed N]
 //	xtalk sim     [-bus addr|data] [-size N] [-seed N] [-compaction] [-engine auto|execute|replay]
+//	              [-workers url1,url2,...] [-shards N]
 //	xtalk fig11   [-size N] [-seed N] [-csv] [-engine auto|execute|replay]
 //	xtalk compare [-size N] [-seed N]
 package main
@@ -17,11 +18,14 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/bist"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/crosstalk"
 	"repro/internal/defects"
+	"repro/internal/fleet"
 	"repro/internal/parwan"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -210,12 +214,26 @@ func cmdSim(args []string) error {
 	compaction := fs.Bool("compaction", false, "compact responses")
 	planFile := fs.String("plan", "", "load a previously saved plan instead of generating")
 	engine := fs.String("engine", "auto", "simulation engine: auto, execute, or replay")
+	workers := fs.String("workers", "", "comma-separated fleet worker base URLs; runs the campaign distributed")
+	shards := fs.Int("shards", 0, "fleet shard count (0 = 4 per worker)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	eng, err := sim.ParseEngine(*engine)
 	if err != nil {
 		return err
+	}
+	if *workers != "" {
+		if *planFile != "" {
+			return fmt.Errorf("-plan is not supported with -workers (fleet nodes generate the plan from the spec)")
+		}
+		return simFleet(*workers, *shards, campaign.Spec{
+			Bus:        *bus,
+			Size:       *size,
+			Seed:       *seed,
+			Compaction: *compaction,
+			Engine:     *engine,
+		})
 	}
 	setup, isData, err := busSetup(*bus)
 	if err != nil {
@@ -256,6 +274,34 @@ func cmdSim(args []string) error {
 	fmt.Printf("golden execution time: %d CPU cycles across %d sessions (paper: 1720)\n",
 		r.GoldenCycles(), len(plan.Programs))
 	printEngineStats(eng, r)
+	return nil
+}
+
+// simFleet runs the campaign distributed across the given worker URLs: a
+// client-side fleet coordinator shards the library, dispatches the shards,
+// and merges the partial results into the exact single-node result.
+func simFleet(urls string, shards int, spec campaign.Spec) error {
+	coord := fleet.NewCoordinator(fleet.CoordinatorConfig{})
+	n := 0
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			coord.Register(u)
+			n++
+		}
+	}
+	if n == 0 {
+		return fmt.Errorf("no worker URLs in %q", urls)
+	}
+	res, _, fs, err := coord.RunCampaign(context.Background(), spec, shards)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fleet campaign: %s bus, %d defects across %d workers (%d shards, %d retries)\n",
+		spec.Bus, res.Total, n, fs.Shards, fs.Retries)
+	fmt.Printf("coverage: %d/%d = %.2f%% (paper: 100%%)\n", res.Detected, res.Total, res.Coverage()*100)
+	fmt.Printf("crashed/hung runs counted as detections: %d\n", res.Crashed)
+	fmt.Printf("engine: %d replay-resolved, %d executed (worker-side attribution)\n",
+		fs.ReplayHits, fs.Executed)
 	return nil
 }
 

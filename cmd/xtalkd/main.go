@@ -8,9 +8,23 @@
 // defects the replay tier resolved versus fell back to execution, and
 // /metrics exposes the aggregate engine and channel-memo counters.
 //
+// The daemon plays one of three fleet roles (see internal/fleet):
+//
+//   - standalone (default): the single-node campaign API.
+//   - worker: the campaign API plus the fleet shard endpoint
+//     (POST /v1/fleet/shards); with -coordinator it registers itself and
+//     heartbeats so the coordinator dispatches shards to it.
+//   - coordinator: the fleet head node — worker registry
+//     (POST/GET /v1/fleet/workers), synchronous distributed campaigns
+//     (POST /v1/fleet/campaigns, byte-identical to a single-node run), and
+//     fleet metrics.
+//
 // Usage:
 //
 //	xtalkd [-addr :8080] [-workers N] [-drain-timeout 30s]
+//	       [-role standalone|worker|coordinator]
+//	       [-coordinator URL] [-advertise URL] [-heartbeat 5s]
+//	       [-shard-timeout 5m] [-heartbeat-ttl 15s]
 //
 // On SIGINT/SIGTERM the daemon stops accepting work and drains in-flight
 // jobs; jobs still running when the drain timeout expires are cancelled
@@ -18,7 +32,9 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -30,33 +46,94 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/fleet"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	workers := flag.Int("workers", 0, "shared defect-run worker pool size (0 = GOMAXPROCS)")
 	drainTimeout := flag.Duration("drain-timeout", 30*time.Second, "max time to drain in-flight jobs on shutdown")
+	role := flag.String("role", "standalone", "fleet role: standalone, worker, or coordinator")
+	coordinator := flag.String("coordinator", "", "coordinator base URL to register with (worker role)")
+	advertise := flag.String("advertise", "", "this worker's base URL as seen by the coordinator (worker role)")
+	heartbeat := flag.Duration("heartbeat", 5*time.Second, "worker registration heartbeat period")
+	shardTimeout := flag.Duration("shard-timeout", 5*time.Minute, "coordinator: per-shard attempt timeout")
+	heartbeatTTL := flag.Duration("heartbeat-ttl", 15*time.Second, "coordinator: expire workers silent for this long")
 	flag.Parse()
 
-	if err := run(*addr, *workers, *drainTimeout); err != nil {
+	cfg := daemonConfig{
+		addr:         *addr,
+		workers:      *workers,
+		drainTimeout: *drainTimeout,
+		role:         *role,
+		coordinator:  *coordinator,
+		advertise:    *advertise,
+		heartbeat:    *heartbeat,
+		shardTimeout: *shardTimeout,
+		heartbeatTTL: *heartbeatTTL,
+	}
+	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "xtalkd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers int, drainTimeout time.Duration) error {
-	mgr := campaign.New(campaign.Config{Workers: workers})
-	srv := &http.Server{
-		Addr:    addr,
-		Handler: campaign.NewServer(mgr),
+type daemonConfig struct {
+	addr         string
+	workers      int
+	drainTimeout time.Duration
+	role         string
+	coordinator  string
+	advertise    string
+	heartbeat    time.Duration
+	shardTimeout time.Duration
+	heartbeatTTL time.Duration
+}
+
+func run(cfg daemonConfig) error {
+	started := time.Now()
+	var handler http.Handler
+	var mgr *campaign.Manager
+
+	switch cfg.role {
+	case "standalone":
+		mgr = campaign.New(campaign.Config{Workers: cfg.workers})
+		handler = campaign.NewServerWithInfo(mgr, campaign.ServerInfo{Role: cfg.role, Started: started})
+	case "worker":
+		mgr = campaign.New(campaign.Config{Workers: cfg.workers})
+		mux := http.NewServeMux()
+		mux.Handle("/v1/fleet/", fleet.NewWorker(mgr))
+		mux.Handle("/", campaign.NewServerWithInfo(mgr, campaign.ServerInfo{Role: cfg.role, Started: started}))
+		handler = mux
+	case "coordinator":
+		coord := fleet.NewCoordinator(fleet.CoordinatorConfig{
+			ShardTimeout: cfg.shardTimeout,
+			HeartbeatTTL: cfg.heartbeatTTL,
+		})
+		handler = fleet.NewCoordinatorServer(coord)
+	default:
+		return fmt.Errorf("unknown role %q (want standalone, worker, or coordinator)", cfg.role)
 	}
+
+	srv := &http.Server{Addr: cfg.addr, Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if cfg.role == "worker" && cfg.coordinator != "" {
+		if cfg.advertise == "" {
+			return errors.New("worker with -coordinator needs -advertise (its own base URL)")
+		}
+		go heartbeatLoop(ctx, cfg.coordinator, cfg.advertise, cfg.heartbeat)
+	}
+
 	errc := make(chan error, 1)
 	go func() {
-		log.Printf("xtalkd: listening on %s (%d workers)", addr, mgr.Workers())
+		if mgr != nil {
+			log.Printf("xtalkd: %s listening on %s (%d workers)", cfg.role, cfg.addr, mgr.Workers())
+		} else {
+			log.Printf("xtalkd: %s listening on %s", cfg.role, cfg.addr)
+		}
 		if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 			errc <- err
 		}
@@ -68,21 +145,55 @@ func run(addr string, workers int, drainTimeout time.Duration) error {
 	case <-ctx.Done():
 	}
 
-	log.Printf("xtalkd: signal received; draining (timeout %s)", drainTimeout)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	log.Printf("xtalkd: signal received; draining (timeout %s)", cfg.drainTimeout)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("xtalkd: http shutdown: %v", err)
 	}
-	if err := mgr.Drain(shutdownCtx); err != nil {
-		log.Printf("xtalkd: drain timed out; cancelling in-flight jobs")
-		mgr.CancelAll()
-		finalCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel2()
-		if err := mgr.Drain(finalCtx); err != nil {
-			return fmt.Errorf("jobs did not stop: %w", err)
+	if mgr != nil {
+		if err := mgr.Drain(shutdownCtx); err != nil {
+			log.Printf("xtalkd: drain timed out; cancelling in-flight jobs")
+			mgr.CancelAll()
+			finalCtx, cancel2 := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel2()
+			if err := mgr.Drain(finalCtx); err != nil {
+				return fmt.Errorf("jobs did not stop: %w", err)
+			}
 		}
 	}
 	log.Printf("xtalkd: drained; bye")
 	return nil
+}
+
+// heartbeatLoop registers the worker with the coordinator immediately and
+// then keeps the registration fresh, so an expired or restarted coordinator
+// re-learns the worker within one period.
+func heartbeatLoop(ctx context.Context, coordinator, advertise string, period time.Duration) {
+	body, _ := json.Marshal(fleet.RegisterRequest{URL: advertise})
+	beat := func() {
+		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+			coordinator+"/v1/fleet/workers", bytes.NewReader(body))
+		if err != nil {
+			return
+		}
+		req.Header.Set("Content-Type", "application/json")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			log.Printf("xtalkd: heartbeat to %s failed: %v", coordinator, err)
+			return
+		}
+		resp.Body.Close()
+	}
+	beat()
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			beat()
+		}
+	}
 }

@@ -64,6 +64,41 @@ type Spec struct {
 	Engine string `json:"engine,omitempty"`
 }
 
+// Normalized returns the spec with generation defaults applied, so cache
+// and shard keys do not distinguish "0" from "the default it selects".
+func (s Spec) Normalized() Spec { return s.normalized() }
+
+// Validate reports whether the spec is well-formed.
+func (s Spec) Validate() error { return s.validate() }
+
+// BusID resolves the spec's bus under test.
+func (s Spec) BusID() core.BusID { return s.busID() }
+
+// SpecPlanHash resolves the spec's self-test plan (inline document or
+// generated from the spec's generation config) and returns its content hash
+// — the campaign identity every fleet node derives independently.
+func SpecPlanHash(spec Spec) (string, error) {
+	plan, err := planFor(spec.normalized())
+	if err != nil {
+		return "", err
+	}
+	return PlanHash(plan)
+}
+
+// SpecCth resolves the detectability threshold the spec's Cth factor derives
+// for the bus under test, another component of the campaign identity.
+func SpecCth(spec Spec) (float64, error) {
+	spec = spec.normalized()
+	addr, data, err := setups(spec.CthFactor)
+	if err != nil {
+		return 0, err
+	}
+	if spec.busID() == core.DataBus {
+		return data.Thresholds.Cth, nil
+	}
+	return addr.Thresholds.Cth, nil
+}
+
 // normalized returns the spec with generation defaults applied, so cache
 // keys do not distinguish "0" from "the default it selects".
 func (s Spec) normalized() Spec {
@@ -295,6 +330,9 @@ type Metrics struct {
 	JobsCanceled       int64 `json:"jobs_canceled"`
 	JobsResumed        int64 `json:"jobs_resumed"`
 	DefectsSimulated   int64 `json:"defects_simulated"`
+	// ShardsServed counts fleet shard assignments this node executed as a
+	// worker (see internal/fleet and Manager.RunShard).
+	ShardsServed int64 `json:"shards_served"`
 	GoldenCacheHits    int64 `json:"golden_cache_hits"`
 	GoldenCacheMisses  int64 `json:"golden_cache_misses"`
 	LibraryCacheHits   int64 `json:"library_cache_hits"`
@@ -337,7 +375,7 @@ type Manager struct {
 	wg sync.WaitGroup // running jobs, for Drain
 
 	jobsSubmitted, jobsCompleted, jobsFailed, jobsCanceled, jobsResumed atomic.Int64
-	defectsSimulated                                                    atomic.Int64
+	defectsSimulated, shardsServed                                      atomic.Int64
 	goldenHits, goldenMisses, libHits, libMisses                        atomic.Int64
 }
 
@@ -380,6 +418,7 @@ func (m *Manager) Metrics() Metrics {
 		JobsCanceled:       m.jobsCanceled.Load(),
 		JobsResumed:        m.jobsResumed.Load(),
 		DefectsSimulated:   m.defectsSimulated.Load(),
+		ShardsServed:       m.shardsServed.Load(),
 		GoldenCacheHits:    m.goldenHits.Load(),
 		GoldenCacheMisses:  m.goldenMisses.Load(),
 		LibraryCacheHits:   m.libHits.Load(),
@@ -751,4 +790,72 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, e
 		Engine: spec.engine(),
 	}
 	return runner.CampaignCtx(ctx, spec.busID(), lib, opts)
+}
+
+// RunShard executes the defect-library index range [start, end) of the
+// spec's campaign synchronously and returns the per-defect outcomes in range
+// order. It shares the manager's golden-runner and defect-library caches and
+// its bounded worker pool with regular jobs, so a node serving as a fleet
+// worker keeps one set of caches and one concurrency bound for both roles.
+// Outcomes are pure functions of (plan, bus parameters, defect), so shards
+// computed on different nodes merge into exactly the single-node result (see
+// sim.MergeOutcomes).
+func (m *Manager) RunShard(ctx context.Context, spec Spec, start, end int) ([]sim.Outcome, sim.EngineStats, error) {
+	if err := spec.validate(); err != nil {
+		return nil, sim.EngineStats{}, err
+	}
+	spec = spec.normalized()
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, sim.EngineStats{}, errors.New("campaign: manager is draining; not accepting shards")
+	}
+	m.wg.Add(1)
+	m.mu.Unlock()
+	defer m.wg.Done()
+
+	addr, data, err := setups(spec.CthFactor)
+	if err != nil {
+		return nil, sim.EngineStats{}, err
+	}
+	plan, err := planFor(spec)
+	if err != nil {
+		return nil, sim.EngineStats{}, err
+	}
+	runner, _, err := m.runnerFor(plan, addr, data, addr.Thresholds.Cth)
+	if err != nil {
+		return nil, sim.EngineStats{}, err
+	}
+	setup := addr
+	if spec.busID() == core.DataBus {
+		setup = data
+	}
+	lib, _, err := m.libraryFor(spec, setup)
+	if err != nil {
+		return nil, sim.EngineStats{}, err
+	}
+	if start < 0 || end > len(lib.Defects) || start >= end {
+		return nil, sim.EngineStats{}, fmt.Errorf("campaign: shard [%d, %d) out of range for %d defects",
+			start, end, len(lib.Defects))
+	}
+	// A shallow sub-library: defect IDs are carried by the defects
+	// themselves, so outcomes keep their library-wide identity.
+	sub := &defects.Library{
+		Nominal:    lib.Nominal,
+		Thresholds: lib.Thresholds,
+		Sigma:      lib.Sigma,
+		Seed:       lib.Seed,
+		Defects:    lib.Defects[start:end],
+	}
+	res, err := runner.CampaignCtx(ctx, spec.busID(), sub, sim.CampaignOpts{
+		Workers: cap(m.slots),
+		Slots:   m.slots,
+		Engine:  spec.engine(),
+	})
+	if err != nil {
+		return nil, sim.EngineStats{}, err
+	}
+	m.shardsServed.Add(1)
+	m.defectsSimulated.Add(int64(end - start))
+	return res.Outcomes, runner.Stats(), nil
 }

@@ -4,6 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
+	"time"
 
 	"repro/internal/report"
 )
@@ -22,10 +25,34 @@ import (
 type Server struct {
 	m   *Manager
 	mux *http.ServeMux
+	// KeepAlive is the idle /watch stream's keep-alive period: when no
+	// progress event arrives for this long, the latest progress snapshot is
+	// re-sent (and flushed) so proxies do not drop the idle connection. Zero
+	// selects 15s.
+	KeepAlive time.Duration
 }
 
-// NewServer wires the routes.
-func NewServer(m *Manager) *Server {
+// NewServer wires the routes for a standalone node.
+func NewServer(m *Manager) *Server { return NewServerWithInfo(m, ServerInfo{}) }
+
+// ServerInfo describes the serving node for /healthz.
+type ServerInfo struct {
+	// Role is the node's fleet role ("standalone", "worker", "coordinator");
+	// empty selects "standalone".
+	Role string
+	// Started is the process start time for uptime reporting; zero selects
+	// the server construction time.
+	Started time.Time
+}
+
+// NewServerWithInfo wires the routes with an explicit node identity.
+func NewServerWithInfo(m *Manager, info ServerInfo) *Server {
+	if info.Role == "" {
+		info.Role = "standalone"
+	}
+	if info.Started.IsZero() {
+		info.Started = time.Now()
+	}
 	s := &Server{m: m, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/campaigns", s.submit)
 	s.mux.HandleFunc("GET /v1/campaigns", s.list)
@@ -34,12 +61,36 @@ func NewServer(m *Manager) *Server {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/watch", s.watch)
 	s.mux.HandleFunc("POST /v1/campaigns/{id}/resume", s.resume)
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.cancel)
-	s.mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	s.mux.HandleFunc("GET /healthz", HealthzHandler(info.Role, info.Started))
 	s.mux.HandleFunc("GET /metrics", s.metrics)
 	return s
+}
+
+// Health is the /healthz document.
+type Health struct {
+	Status        string  `json:"status"`
+	Role          string  `json:"role"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	Version       string  `json:"version"`
+}
+
+// HealthzHandler serves a structured liveness document: status, node role,
+// uptime since started, and build info. Shared by every xtalkd role.
+func HealthzHandler(role string, started time.Time) http.HandlerFunc {
+	version := "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
+		version = bi.Main.Version
+	}
+	return func(w http.ResponseWriter, _ *http.Request) {
+		writeJSON(w, http.StatusOK, Health{
+			Status:        "ok",
+			Role:          role,
+			UptimeSeconds: time.Since(started).Seconds(),
+			GoVersion:     runtime.Version(),
+			Version:       version,
+		})
+	}
 }
 
 // ServeHTTP implements http.Handler.
@@ -118,6 +169,10 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 
 // watch streams progress events as NDJSON until the job reaches a terminal
 // state or the client goes away. The final event carries the terminal state.
+// When the stream is idle for the server's KeepAlive period (a long job
+// whose in-flight defects have not completed, or a job queued behind the
+// shared pool), the latest progress snapshot is re-sent and flushed so
+// proxies and load balancers do not reap the idle connection.
 func (s *Server) watch(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.job(w, r)
 	if !ok {
@@ -128,16 +183,37 @@ func (s *Server) watch(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	enc := json.NewEncoder(w)
+	keepAlive := s.KeepAlive
+	if keepAlive <= 0 {
+		keepAlive = 15 * time.Second
+	}
+	ticker := time.NewTicker(keepAlive)
+	defer ticker.Stop()
+	var last Progress
+	send := func(p Progress) bool {
+		last = p
+		if err := enc.Encode(p); err != nil {
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		ticker.Reset(keepAlive)
+		return true
+	}
 	for {
 		select {
 		case <-r.Context().Done():
 			return
-		case p := <-events:
-			if err := enc.Encode(p); err != nil {
+		case <-ticker.C:
+			// Keep-alive: repeat the latest snapshot. Consumers decode it as
+			// a regular (unchanged, monotone) progress event.
+			if !send(last) {
 				return
 			}
-			if flusher != nil {
-				flusher.Flush()
+		case p := <-events:
+			if !send(p) {
+				return
 			}
 			if p.State.Terminal() {
 				return
@@ -180,6 +256,7 @@ func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "xtalkd_jobs_canceled_total %d\n", m.JobsCanceled)
 	fmt.Fprintf(w, "xtalkd_jobs_resumed_total %d\n", m.JobsResumed)
 	fmt.Fprintf(w, "xtalkd_defects_simulated_total %d\n", m.DefectsSimulated)
+	fmt.Fprintf(w, "xtalkd_fleet_shards_served_total %d\n", m.ShardsServed)
 	fmt.Fprintf(w, "xtalkd_golden_cache_hits_total %d\n", m.GoldenCacheHits)
 	fmt.Fprintf(w, "xtalkd_golden_cache_misses_total %d\n", m.GoldenCacheMisses)
 	fmt.Fprintf(w, "xtalkd_library_cache_hits_total %d\n", m.LibraryCacheHits)

@@ -111,9 +111,11 @@ func TestHTTPSubmitStatusResult(t *testing.T) {
 
 func TestHTTPResultBeforeDoneAndUnknownJob(t *testing.T) {
 	m, ts := newTestServer(t, 1)
-	// A job that takes a while: result must 409 while it runs.
+	// A job that takes a while: result must 409 while it runs. Force the
+	// execute engine — under the default auto engine replay can finish the
+	// whole campaign before the result request lands.
 	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/campaigns",
-		`{"bus":"addr","size":150,"seed":3,"target_only":true}`)
+		`{"bus":"addr","size":400,"seed":3,"target_only":true,"engine":"execute"}`)
 	if resp.StatusCode != http.StatusAccepted {
 		t.Fatalf("submit: %d: %s", resp.StatusCode, body)
 	}
@@ -234,6 +236,68 @@ func TestHTTPWatchStreamsMonotoneProgress(t *testing.T) {
 	waitDoneHTTP(t, m, st.ID)
 }
 
+// TestHTTPWatchKeepAlive starves a small job behind a large one on a
+// single-slot pool, so its /watch stream goes idle mid-run; the server must
+// keep emitting (identical) keep-alive snapshots so proxies do not reap the
+// connection. Real progress events always change Done, so two consecutive
+// identical events prove a keep-alive was sent.
+func TestHTTPWatchKeepAlive(t *testing.T) {
+	m := New(Config{Workers: 1})
+	srv := NewServer(m)
+	srv.KeepAlive = time.Millisecond
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// The hog: a slow job holding the pool's only slot for most of the run.
+	resp, body := doJSON(t, http.MethodPost, ts.URL+"/v1/campaigns",
+		`{"bus":"addr","size":400,"seed":3,"target_only":true,"engine":"execute"}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit hog: %d %s", resp.StatusCode, body)
+	}
+	var hog Status
+	if err := json.Unmarshal(body, &hog); err != nil {
+		t.Fatal(err)
+	}
+	st := submitSmall(t, ts)
+
+	watch, err := http.Get(ts.URL + "/v1/campaigns/" + st.ID + "/watch")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer watch.Body.Close()
+	sc := bufio.NewScanner(watch.Body)
+	var last Progress
+	keepAlives, events := 0, 0
+	for sc.Scan() {
+		var p Progress
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			t.Fatalf("bad event %q: %v", sc.Text(), err)
+		}
+		if events > 0 && p == last {
+			keepAlives++
+			if keepAlives >= 3 {
+				break // proven; stop streaming
+			}
+		}
+		if p.Done < last.Done {
+			t.Fatalf("keep-alive broke monotonicity: %+v after %+v", p, last)
+		}
+		last = p
+		events++
+		if p.State.Terminal() {
+			break
+		}
+	}
+	if err := sc.Err(); err != nil && keepAlives < 3 {
+		t.Fatal(err)
+	}
+	if keepAlives == 0 {
+		t.Fatalf("idle watch stream produced no keep-alive events (%d events, final %+v)", events, last)
+	}
+	waitDoneHTTP(t, m, hog.ID)
+	waitDoneHTTP(t, m, st.ID)
+}
+
 func TestHTTPBadSubmissions(t *testing.T) {
 	_, ts := newTestServer(t, 1)
 	for _, body := range []string{
@@ -253,8 +317,24 @@ func TestHTTPBadSubmissions(t *testing.T) {
 func TestHTTPHealthAndMetrics(t *testing.T) {
 	m, ts := newTestServer(t, 2)
 	resp, body := doJSON(t, http.MethodGet, ts.URL+"/healthz", "")
-	if resp.StatusCode != http.StatusOK || strings.TrimSpace(string(body)) != "ok" {
+	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("healthz: %d %q", resp.StatusCode, body)
+	}
+	var h Health
+	if err := json.Unmarshal(body, &h); err != nil {
+		t.Fatalf("healthz is not JSON: %q: %v", body, err)
+	}
+	if h.Status != "ok" {
+		t.Fatalf("healthz status %q, want ok", h.Status)
+	}
+	if h.Role != "standalone" {
+		t.Fatalf("healthz role %q, want standalone (the NewServer default)", h.Role)
+	}
+	if h.UptimeSeconds < 0 {
+		t.Fatalf("healthz uptime %g is negative", h.UptimeSeconds)
+	}
+	if h.GoVersion == "" || h.Version == "" {
+		t.Fatalf("healthz missing build info: %+v", h)
 	}
 	st := submitSmall(t, ts)
 	waitDoneHTTP(t, m, st.ID)
@@ -267,6 +347,7 @@ func TestHTTPHealthAndMetrics(t *testing.T) {
 		"xtalkd_jobs_submitted_total 1",
 		"xtalkd_jobs_completed_total 1",
 		"xtalkd_defects_simulated_total 60",
+		"xtalkd_fleet_shards_served_total 0",
 		"xtalkd_golden_cache_misses_total 1",
 		"xtalkd_workers 2",
 		"xtalkd_engine_replay_hits_total ",

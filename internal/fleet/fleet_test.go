@@ -1,0 +1,263 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/parwan"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// startWorkers spins up n in-process fleet workers (each with its own
+// manager, as `xtalkd -role worker` would) and registers them with a fresh
+// coordinator configured for fast test retries.
+func startWorkers(t *testing.T, n int) (*Coordinator, []*httptest.Server) {
+	t.Helper()
+	coord := NewCoordinator(CoordinatorConfig{Backoff: 5 * time.Millisecond})
+	servers := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		ts := httptest.NewServer(NewWorker(campaign.New(campaign.Config{})))
+		t.Cleanup(ts.Close)
+		servers[i] = ts
+		coord.Register(ts.URL)
+	}
+	return coord, servers
+}
+
+// singleNodeJSON renders the spec's campaign result from one node through
+// the same campaign engine the workers use.
+func singleNodeJSON(t *testing.T, spec campaign.Spec) []byte {
+	t.Helper()
+	mgr := campaign.New(campaign.Config{})
+	n := spec.Normalized()
+	outcomes, _, err := mgr.RunShard(context.Background(), spec, 0, n.Size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	width := parwan.AddrBits
+	if n.Bus == "data" {
+		width = parwan.DataBits
+	}
+	var buf bytes.Buffer
+	if err := report.WriteCampaignJSON(&buf, sim.Aggregate(n.BusID(), outcomes), width); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func fleetJSON(t *testing.T, coord *Coordinator, spec campaign.Spec, shards int) ([]byte, FleetStats) {
+	t.Helper()
+	res, width, fs, err := coord.RunCampaign(context.Background(), spec, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := report.WriteCampaignJSON(&buf, res, width); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), fs
+}
+
+// TestFleetByteIdenticalE5 is the subsystem's acceptance test: the full E5
+// campaign sharded across 4 in-process workers renders campaign-result JSON
+// byte-identical to a single-node run of the same spec.
+func TestFleetByteIdenticalE5(t *testing.T) {
+	size := 1000 // the paper's library size
+	if testing.Short() {
+		size = 120
+	}
+	spec := campaign.Spec{Bus: "addr", Size: size, Seed: 1}
+	coord, _ := startWorkers(t, 4)
+	got, fs := fleetJSON(t, coord, spec, 0)
+	want := singleNodeJSON(t, spec)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet campaign JSON differs from single-node run (%d vs %d bytes)", len(got), len(want))
+	}
+	if fs.Shards != 16 { // 4 shards per worker × 4 workers
+		t.Fatalf("fleet used %d shards, want 16", fs.Shards)
+	}
+	if fs.ReplayHits+fs.Executed != size {
+		t.Fatalf("fleet attribution covers %d defects, want %d", fs.ReplayHits+fs.Executed, size)
+	}
+	t.Logf("4-worker fleet: %d defects, %d shards, %d bytes byte-identical to single node",
+		size, fs.Shards, len(got))
+}
+
+// TestFleetWorkerDeathMidCampaign kills one of three workers after it
+// serves its first shard; the coordinator must retry the lost shards on the
+// survivors and still produce the exact single-node bytes.
+func TestFleetWorkerDeathMidCampaign(t *testing.T) {
+	spec := campaign.Spec{Bus: "addr", Size: 240, Seed: 5, TargetOnly: true}
+	coord, _ := startWorkers(t, 2)
+
+	// A third worker that dies right after its first shard response reaches
+	// the coordinator.
+	var victimSrv atomic.Pointer[httptest.Server]
+	var served atomic.Int32
+	inner := NewWorker(campaign.New(campaign.Config{}))
+	victim := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		inner.ServeHTTP(w, r)
+		if served.Add(1) == 1 {
+			if s := victimSrv.Load(); s != nil {
+				go s.CloseClientConnections()
+				go s.Close()
+			}
+		}
+	}))
+	victimSrv.Store(victim)
+	t.Cleanup(victim.Close)
+	coord.Register(victim.URL)
+
+	got, fs := fleetJSON(t, coord, spec, 12)
+	want := singleNodeJSON(t, spec)
+	if !bytes.Equal(got, want) {
+		t.Fatalf("fleet campaign JSON differs from single-node run after worker death (%d vs %d bytes)",
+			len(got), len(want))
+	}
+	if fs.Retries == 0 {
+		t.Fatal("worker death produced no shard retries")
+	}
+	for _, w := range coord.Workers() {
+		if w.URL == victim.URL && w.Alive {
+			t.Fatalf("dead worker %s still marked alive", w.URL)
+		}
+	}
+	t.Logf("3-worker fleet survived a mid-campaign worker loss: %d shards, %d retries, bytes identical",
+		fs.Shards, fs.Retries)
+}
+
+func TestFleetNoWorkers(t *testing.T) {
+	coord := NewCoordinator(CoordinatorConfig{})
+	_, _, _, err := coord.RunCampaign(context.Background(), campaign.Spec{Bus: "addr", Size: 10, Seed: 1}, 0)
+	if err == nil || !strings.Contains(err.Error(), "no live workers") {
+		t.Fatalf("expected a no-live-workers error, got %v", err)
+	}
+}
+
+func TestWorkerRejectsShardKeyMismatch(t *testing.T) {
+	ts := httptest.NewServer(NewWorker(campaign.New(campaign.Config{})))
+	defer ts.Close()
+	body, _ := json.Marshal(ShardRequest{
+		Spec:   campaign.Spec{Bus: "addr", Size: 20, Seed: 1, TargetOnly: true},
+		Key:    "not-the-real-key",
+		Shards: 2,
+		Start:  0,
+		End:    10,
+	})
+	resp, err := http.Post(ts.URL+"/v1/fleet/shards", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("mismatched shard key got status %d, want %d", resp.StatusCode, http.StatusConflict)
+	}
+}
+
+func TestHeartbeatExpiryAndRevival(t *testing.T) {
+	coord := NewCoordinator(CoordinatorConfig{HeartbeatTTL: 30 * time.Millisecond})
+	coord.Register("http://w1")
+	if n := coord.LiveWorkers(); n != 1 {
+		t.Fatalf("live workers = %d, want 1", n)
+	}
+	time.Sleep(60 * time.Millisecond)
+	if n := coord.LiveWorkers(); n != 0 {
+		t.Fatalf("worker did not expire: live = %d", n)
+	}
+	coord.Register("http://w1") // heartbeat revives it
+	if n := coord.LiveWorkers(); n != 1 {
+		t.Fatalf("heartbeat did not revive worker: live = %d", n)
+	}
+}
+
+func TestCoordinatorServerEndToEnd(t *testing.T) {
+	spec := campaign.Spec{Bus: "data", Size: 80, Seed: 9, TargetOnly: true}
+	coord, _ := startWorkers(t, 2)
+	cs := httptest.NewServer(NewCoordinatorServer(coord))
+	defer cs.Close()
+
+	// Registry endpoints.
+	resp, err := http.Get(cs.URL + "/v1/fleet/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var infos []WorkerInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(infos) != 2 {
+		t.Fatalf("registry lists %d workers, want 2", len(infos))
+	}
+
+	// Distributed campaign over HTTP: body must be the exact single-node
+	// campaign JSON.
+	body, _ := json.Marshal(CampaignRequest{Spec: spec, Shards: 4})
+	resp, err = http.Post(cs.URL+"/v1/fleet/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet campaign status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Fleet-Shards"); got != "4" {
+		t.Fatalf("X-Fleet-Shards = %q, want 4", got)
+	}
+	var got bytes.Buffer
+	if _, err := got.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if want := singleNodeJSON(t, spec); !bytes.Equal(got.Bytes(), want) {
+		t.Fatalf("HTTP fleet campaign JSON differs from single-node run (%d vs %d bytes)",
+			got.Len(), len(want))
+	}
+
+	// Registration endpoint + metrics exposition.
+	resp, err = http.Post(cs.URL+"/v1/fleet/workers", "application/json",
+		strings.NewReader(`{"url":"http://late-worker"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(cs.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var metrics bytes.Buffer
+	metrics.ReadFrom(resp.Body)
+	resp.Body.Close()
+	for _, want := range []string{
+		"xtalkd_fleet_workers 3",
+		"xtalkd_fleet_campaigns_total 1",
+		"xtalkd_fleet_shards_dispatched_total 4",
+		"xtalkd_fleet_defects_merged_total 80",
+	} {
+		if !strings.Contains(metrics.String(), want) {
+			t.Fatalf("metrics missing %q:\n%s", want, metrics.String())
+		}
+	}
+
+	// Coordinator healthz carries its role.
+	resp, err = http.Get(cs.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var h campaign.Health
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if h.Status != "ok" || h.Role != "coordinator" {
+		t.Fatalf("coordinator healthz = %+v", h)
+	}
+}

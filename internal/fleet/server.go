@@ -1,0 +1,109 @@
+package fleet
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/report"
+)
+
+// CoordinatorServer is the HTTP face of a Coordinator, served by
+// xtalkd -role coordinator.
+//
+//	POST /v1/fleet/workers    register a worker / refresh its heartbeat
+//	GET  /v1/fleet/workers    registry snapshot
+//	POST /v1/fleet/campaigns  run a distributed campaign synchronously;
+//	                          the body is the campaign-result JSON
+//	                          (byte-identical to a single-node run), with
+//	                          fleet attribution in X-Fleet-* headers
+//	GET  /healthz             role, uptime, build info
+//	GET  /metrics             text metrics exposition (fleet lines)
+type CoordinatorServer struct {
+	c   *Coordinator
+	mux *http.ServeMux
+}
+
+// NewCoordinatorServer wires the routes.
+func NewCoordinatorServer(c *Coordinator) *CoordinatorServer {
+	s := &CoordinatorServer{c: c, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/fleet/workers", s.register)
+	s.mux.HandleFunc("GET /v1/fleet/workers", s.workers)
+	s.mux.HandleFunc("POST /v1/fleet/campaigns", s.campaign)
+	s.mux.HandleFunc("GET /healthz", campaign.HealthzHandler("coordinator", time.Now()))
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *CoordinatorServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// RegisterRequest is a worker's registration/heartbeat body.
+type RegisterRequest struct {
+	URL string `json:"url"`
+}
+
+func (s *CoordinatorServer) register(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("decoding registration: %w", err))
+		return
+	}
+	if req.URL == "" {
+		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("fleet: registration without url"))
+		return
+	}
+	s.c.Register(req.URL)
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.c.Workers())
+}
+
+func (s *CoordinatorServer) workers(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.c.Workers())
+}
+
+// CampaignRequest asks the coordinator for one distributed campaign run.
+type CampaignRequest struct {
+	Spec campaign.Spec `json:"spec"`
+	// Shards overrides the shard count; zero selects ShardsPerWorker × live
+	// workers.
+	Shards int `json:"shards,omitempty"`
+}
+
+func (s *CoordinatorServer) campaign(w http.ResponseWriter, r *http.Request) {
+	var req CampaignRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSONError(w, http.StatusBadRequest, fmt.Errorf("decoding campaign request: %w", err))
+		return
+	}
+	res, width, fs, err := s.c.RunCampaign(r.Context(), req.Spec, req.Shards)
+	if err != nil {
+		writeJSONError(w, http.StatusBadGateway, err)
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Fleet-Shards", strconv.Itoa(fs.Shards))
+	h.Set("X-Fleet-Retries", strconv.Itoa(fs.Retries))
+	h.Set("X-Fleet-Replay-Hits", strconv.Itoa(fs.ReplayHits))
+	h.Set("X-Fleet-Executed", strconv.Itoa(fs.Executed))
+	report.WriteCampaignJSON(w, res, width)
+}
+
+func (s *CoordinatorServer) metrics(w http.ResponseWriter, _ *http.Request) {
+	m := s.c.Metrics()
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintf(w, "xtalkd_fleet_workers %d\n", m.Workers)
+	fmt.Fprintf(w, "xtalkd_fleet_workers_alive %d\n", m.WorkersAlive)
+	fmt.Fprintf(w, "xtalkd_fleet_campaigns_total %d\n", m.Campaigns)
+	fmt.Fprintf(w, "xtalkd_fleet_campaigns_failed_total %d\n", m.CampaignsFailed)
+	fmt.Fprintf(w, "xtalkd_fleet_shards_dispatched_total %d\n", m.ShardsDispatched)
+	fmt.Fprintf(w, "xtalkd_fleet_shard_retries_total %d\n", m.ShardRetries)
+	fmt.Fprintf(w, "xtalkd_fleet_defects_merged_total %d\n", m.DefectsMerged)
+}

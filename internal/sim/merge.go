@@ -1,0 +1,73 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// OutcomeShard is a contiguous run of a campaign's per-defect outcomes,
+// starting at library index Start. Shards are how a distributed campaign
+// (internal/fleet) carries partial results: each worker simulates one index
+// range of the defect library and returns its outcomes in range order.
+type OutcomeShard struct {
+	// Start is the library index of Outcomes[0].
+	Start int `json:"start"`
+	// Outcomes are the verdicts for library indices Start..Start+len-1, in
+	// index order.
+	Outcomes []Outcome `json:"outcomes"`
+}
+
+// End returns the exclusive library index one past the shard's last outcome.
+func (s OutcomeShard) End() int { return s.Start + len(s.Outcomes) }
+
+// MergeShards coalesces shards that together tile one contiguous index range
+// into a single shard. Input order is irrelevant (shards are sorted by Start
+// before concatenation); gaps and overlaps are errors. Because concatenation
+// of sorted contiguous runs is associative, merging any grouping of a
+// partition yields the same shard — the property fleet retries rely on.
+func MergeShards(shards []OutcomeShard) (OutcomeShard, error) {
+	if len(shards) == 0 {
+		return OutcomeShard{}, fmt.Errorf("sim: no shards to merge")
+	}
+	sorted := make([]OutcomeShard, len(shards))
+	copy(sorted, shards)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Start < sorted[j].Start })
+	out := OutcomeShard{Start: sorted[0].Start}
+	n := 0
+	for _, s := range sorted {
+		n += len(s.Outcomes)
+	}
+	out.Outcomes = make([]Outcome, 0, n)
+	next := sorted[0].Start
+	for _, s := range sorted {
+		if s.Start != next {
+			return OutcomeShard{}, fmt.Errorf("sim: shard starts at %d, want %d (gap or overlap)", s.Start, next)
+		}
+		out.Outcomes = append(out.Outcomes, s.Outcomes...)
+		next = s.End()
+	}
+	return out, nil
+}
+
+// MergeOutcomes restores library order from a set of outcome shards and
+// aggregates them into a CampaignResult. The shards may arrive in any order
+// (workers finish when they finish) but must tile [0, total) exactly — every
+// library index covered once, no gaps, no overlaps. Aggregation goes through
+// Aggregate, the same path a single-node campaign uses, so for the same
+// library the merged result renders byte-identical campaign JSON to an
+// unsharded run.
+func MergeOutcomes(bus core.BusID, total int, shards []OutcomeShard) (*CampaignResult, error) {
+	merged, err := MergeShards(shards)
+	if err != nil {
+		return nil, err
+	}
+	if merged.Start != 0 {
+		return nil, fmt.Errorf("sim: merged shards start at %d, want 0", merged.Start)
+	}
+	if len(merged.Outcomes) != total {
+		return nil, fmt.Errorf("sim: merged shards cover %d outcomes, want %d", len(merged.Outcomes), total)
+	}
+	return Aggregate(bus, merged.Outcomes), nil
+}
