@@ -12,6 +12,7 @@ import (
 	"math/rand"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/bist"
 	"repro/internal/campaign"
@@ -20,6 +21,7 @@ import (
 	"repro/internal/defects"
 	"repro/internal/fleet"
 	"repro/internal/maf"
+	"repro/internal/obs"
 	"repro/internal/parwan"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -269,6 +271,71 @@ func BenchmarkE5_Fleet4Workers(b *testing.B) {
 	b.StopTimer()
 	b.ReportMetric(float64(fs.Shards)/float64(b.N), "shards/op")
 	b.ReportMetric(float64(fs.ReplayHits)/float64(b.N), "replay-hits/op")
+}
+
+// e5ServicePair submits the E5 addr+data campaign pair to the manager and
+// waits both out, returning the wall time of the pair.
+func e5ServicePair(b *testing.B, m *campaign.Manager) time.Duration {
+	b.Helper()
+	t0 := time.Now()
+	for _, spec := range []campaign.Spec{
+		{Bus: "addr", Size: benchLibrarySize, Seed: 3001},
+		{Bus: "data", Size: benchLibrarySize, Seed: 3002},
+	} {
+		job, err := m.Submit(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		<-job.Done()
+		if err := job.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return time.Since(t0)
+}
+
+// benchE5Telemetry runs the E5 campaign pair through the service tier with
+// the given telemetry bundle.
+func benchE5Telemetry(b *testing.B, tel *obs.Telemetry) {
+	m := campaign.New(campaign.Config{Obs: tel})
+	e5ServicePair(b, m) // warm the golden-runner and library caches
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e5ServicePair(b, m)
+	}
+}
+
+// BenchmarkE5_TelemetryOn measures E5 through the service tier with full
+// telemetry: per-defect latency histograms, spans, and recorder events.
+func BenchmarkE5_TelemetryOn(b *testing.B) { benchE5Telemetry(b, obs.NewTelemetry()) }
+
+// BenchmarkE5_TelemetryOff is the same run with telemetry disabled (the
+// registry still exists; observation hooks, spans and events are off) — the
+// baseline the ≤2% overhead acceptance bound compares against.
+func BenchmarkE5_TelemetryOff(b *testing.B) { benchE5Telemetry(b, obs.Disabled()) }
+
+// BenchmarkE5_TelemetryOverhead interleaves telemetry-on and telemetry-off
+// service runs pair by pair, so machine drift hits both sides equally — the
+// paired measurement behind BENCH_PR5.json's overhead figure. (Running the
+// On and Off benchmarks back to back instead puts whole minutes between the
+// two measurements, and on a shared machine that drift alone reads as a few
+// percent.) The reported ns/op covers one on+off pair; the split is in the
+// on-ns/op and off-ns/op metrics.
+func BenchmarkE5_TelemetryOverhead(b *testing.B) {
+	on := campaign.New(campaign.Config{Obs: obs.NewTelemetry()})
+	off := campaign.New(campaign.Config{Obs: obs.Disabled()})
+	e5ServicePair(b, on) // warm both managers' caches
+	e5ServicePair(b, off)
+	var tOn, tOff time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tOn += e5ServicePair(b, on)
+		tOff += e5ServicePair(b, off)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(tOn.Nanoseconds())/float64(b.N), "on-ns/op")
+	b.ReportMetric(float64(tOff.Nanoseconds())/float64(b.N), "off-ns/op")
+	b.ReportMetric((float64(tOn)/float64(tOff)-1)*100, "overhead-%")
 }
 
 // BenchmarkE6_BaselineComparison regenerates the paper's comparison claims

@@ -8,7 +8,7 @@
 //	xtalk params  [-width N] [-cth F] [-o file]
 //	xtalk defects [-bus addr|data] [-size N] [-sigma S] [-seed N]
 //	xtalk sim     [-bus addr|data] [-size N] [-seed N] [-compaction] [-engine auto|execute|replay]
-//	              [-workers url1,url2,...] [-shards N]
+//	              [-workers url1,url2,...] [-shards N] [-trace out.ndjson]
 //	xtalk fig11   [-size N] [-seed N] [-csv] [-engine auto|execute|replay]
 //	xtalk compare [-size N] [-seed N]
 package main
@@ -26,6 +26,7 @@ import (
 	"repro/internal/crosstalk"
 	"repro/internal/defects"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 	"repro/internal/parwan"
 	"repro/internal/report"
 	"repro/internal/sim"
@@ -216,6 +217,7 @@ func cmdSim(args []string) error {
 	engine := fs.String("engine", "auto", "simulation engine: auto, execute, or replay")
 	workers := fs.String("workers", "", "comma-separated fleet worker base URLs; runs the campaign distributed")
 	shards := fs.Int("shards", 0, "fleet shard count (0 = 4 per worker)")
+	traceOut := fs.String("trace", "", "write the run's spans as NDJSON to this file")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -227,7 +229,7 @@ func cmdSim(args []string) error {
 		if *planFile != "" {
 			return fmt.Errorf("-plan is not supported with -workers (fleet nodes generate the plan from the spec)")
 		}
-		return simFleet(*workers, *shards, campaign.Spec{
+		return simFleet(*workers, *shards, *traceOut, campaign.Spec{
 			Bus:        *bus,
 			Size:       *size,
 			Seed:       *seed,
@@ -243,12 +245,22 @@ func cmdSim(args []string) error {
 	if isData {
 		busID = core.DataBus
 	}
+	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		tracer = obs.NewTracer(obs.DefaultTracerCapacity)
+		ctx = obs.WithTracer(ctx, tracer, "sim")
+	}
+	ctx, root := obs.StartSpan(ctx, "sim.run",
+		obs.Label{Key: "bus", Value: *bus}, obs.Label{Key: "engine", Value: *engine})
+	_, planSpan := obs.StartSpan(ctx, "sim.plan")
 	var plan *core.Plan
 	if *planFile != "" {
 		plan, err = core.LoadPlan(*planFile)
 	} else {
 		plan, err = core.Generate(core.GenConfig{Compaction: *compaction})
 	}
+	planSpan.End()
 	if err != nil {
 		return err
 	}
@@ -256,7 +268,9 @@ func cmdSim(args []string) error {
 	if err != nil {
 		return err
 	}
+	_, goldenSpan := obs.StartSpan(ctx, "sim.golden")
 	r, err := sim.NewRunner(plan, addr, data)
+	goldenSpan.End()
 	if err != nil {
 		return err
 	}
@@ -264,9 +278,19 @@ func cmdSim(args []string) error {
 	if err != nil {
 		return err
 	}
-	res, err := r.CampaignCtx(context.Background(), busID, lib, sim.CampaignOpts{Engine: eng})
+	cctx, campSpan := obs.StartSpan(ctx, "sim.campaign",
+		obs.Label{Key: "defects", Value: fmt.Sprint(len(lib.Defects))})
+	res, err := r.CampaignCtx(cctx, busID, lib, sim.CampaignOpts{Engine: eng})
+	campSpan.End()
+	root.End()
 	if err != nil {
 		return err
+	}
+	if tracer != nil {
+		if err := writeTraceFile(*traceOut, tracer, "sim"); err != nil {
+			return err
+		}
+		fmt.Printf("trace written to %s (%d spans)\n", *traceOut, len(tracer.Trace("sim")))
 	}
 	fmt.Printf("campaign: %s bus, %d defects\n", *bus, res.Total)
 	fmt.Printf("coverage: %d/%d = %.2f%% (paper: 100%%)\n", res.Detected, res.Total, res.Coverage()*100)
@@ -279,8 +303,10 @@ func cmdSim(args []string) error {
 
 // simFleet runs the campaign distributed across the given worker URLs: a
 // client-side fleet coordinator shards the library, dispatches the shards,
-// and merges the partial results into the exact single-node result.
-func simFleet(urls string, shards int, spec campaign.Spec) error {
+// and merges the partial results into the exact single-node result. With
+// traceOut, the coordinator's trace — including the worker-side spans shipped
+// back in shard responses — is written as NDJSON.
+func simFleet(urls string, shards int, traceOut string, spec campaign.Spec) error {
 	coord := fleet.NewCoordinator(fleet.CoordinatorConfig{})
 	n := 0
 	for _, u := range strings.Split(urls, ",") {
@@ -302,7 +328,27 @@ func simFleet(urls string, shards int, spec campaign.Spec) error {
 	fmt.Printf("crashed/hung runs counted as detections: %d\n", res.Crashed)
 	fmt.Printf("engine: %d replay-resolved, %d executed (worker-side attribution)\n",
 		fs.ReplayHits, fs.Executed)
+	if traceOut != "" {
+		if err := writeTraceFile(traceOut, coord.Obs().Tracer, fs.TraceID); err != nil {
+			return err
+		}
+		fmt.Printf("trace %s written to %s (%d spans)\n",
+			fs.TraceID, traceOut, len(coord.Obs().Tracer.Trace(fs.TraceID)))
+	}
 	return nil
+}
+
+// writeTraceFile dumps one trace from a collector as NDJSON.
+func writeTraceFile(path string, tr *obs.Tracer, traceID string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := tr.WriteNDJSON(f, traceID); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // printEngineStats summarizes how the engine resolved the campaign's defect

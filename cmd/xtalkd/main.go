@@ -19,10 +19,18 @@
 //     (POST /v1/fleet/campaigns, byte-identical to a single-node run), and
 //     fleet metrics.
 //
+// Every role serves the unified telemetry endpoints (see internal/obs):
+// GET /metrics (Prometheus text exposition from a single typed registry),
+// GET /debug/events (the flight-recorder ring of structured events, also
+// mirrored to stderr as structured logs), and GET /debug/trace/{id} (one
+// trace as NDJSON — a job ID on campaign nodes, a fleet trace ID on the
+// coordinator). -debug-addr additionally serves net/http/pprof plus the
+// same telemetry endpoints on a private listener.
+//
 // Usage:
 //
 //	xtalkd [-addr :8080] [-workers N] [-drain-timeout 30s]
-//	       [-role standalone|worker|coordinator]
+//	       [-role standalone|worker|coordinator] [-debug-addr :6060]
 //	       [-coordinator URL] [-advertise URL] [-heartbeat 5s]
 //	       [-shard-timeout 5m] [-heartbeat-ttl 15s]
 //
@@ -39,7 +47,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -47,6 +57,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/fleet"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -59,6 +70,7 @@ func main() {
 	heartbeat := flag.Duration("heartbeat", 5*time.Second, "worker registration heartbeat period")
 	shardTimeout := flag.Duration("shard-timeout", 5*time.Minute, "coordinator: per-shard attempt timeout")
 	heartbeatTTL := flag.Duration("heartbeat-ttl", 15*time.Second, "coordinator: expire workers silent for this long")
+	debugAddr := flag.String("debug-addr", "", "private listener for net/http/pprof and telemetry endpoints (empty = off)")
 	flag.Parse()
 
 	cfg := daemonConfig{
@@ -71,6 +83,7 @@ func main() {
 		heartbeat:    *heartbeat,
 		shardTimeout: *shardTimeout,
 		heartbeatTTL: *heartbeatTTL,
+		debugAddr:    *debugAddr,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "xtalkd:", err)
@@ -88,19 +101,24 @@ type daemonConfig struct {
 	heartbeat    time.Duration
 	shardTimeout time.Duration
 	heartbeatTTL time.Duration
+	debugAddr    string
 }
 
 func run(cfg daemonConfig) error {
 	started := time.Now()
+	// One telemetry bundle per process: every role's registry, span
+	// collector, and flight recorder, with events mirrored to stderr as
+	// structured logs.
+	tel := obs.NewTelemetryWithLogger(slog.New(slog.NewTextHandler(os.Stderr, nil)))
 	var handler http.Handler
 	var mgr *campaign.Manager
 
 	switch cfg.role {
 	case "standalone":
-		mgr = campaign.New(campaign.Config{Workers: cfg.workers})
+		mgr = campaign.New(campaign.Config{Workers: cfg.workers, Obs: tel})
 		handler = campaign.NewServerWithInfo(mgr, campaign.ServerInfo{Role: cfg.role, Started: started})
 	case "worker":
-		mgr = campaign.New(campaign.Config{Workers: cfg.workers})
+		mgr = campaign.New(campaign.Config{Workers: cfg.workers, Obs: tel})
 		mux := http.NewServeMux()
 		mux.Handle("/v1/fleet/", fleet.NewWorker(mgr))
 		mux.Handle("/", campaign.NewServerWithInfo(mgr, campaign.ServerInfo{Role: cfg.role, Started: started}))
@@ -109,13 +127,26 @@ func run(cfg daemonConfig) error {
 		coord := fleet.NewCoordinator(fleet.CoordinatorConfig{
 			ShardTimeout: cfg.shardTimeout,
 			HeartbeatTTL: cfg.heartbeatTTL,
+			Obs:          tel,
 		})
 		handler = fleet.NewCoordinatorServer(coord)
 	default:
 		return fmt.Errorf("unknown role %q (want standalone, worker, or coordinator)", cfg.role)
 	}
+	tel.Record("daemon.start",
+		obs.Label{Key: "role", Value: cfg.role},
+		obs.Label{Key: "addr", Value: cfg.addr})
 
 	srv := &http.Server{Addr: cfg.addr, Handler: handler}
+	var debugSrv *http.Server
+	if cfg.debugAddr != "" {
+		debugSrv = &http.Server{Addr: cfg.debugAddr, Handler: debugMux(tel)}
+		go func() {
+			if err := debugSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("xtalkd: debug listener: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -146,8 +177,12 @@ func run(cfg daemonConfig) error {
 	}
 
 	log.Printf("xtalkd: signal received; draining (timeout %s)", cfg.drainTimeout)
+	tel.Record("daemon.drain", obs.Label{Key: "role", Value: cfg.role})
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
 	defer cancel()
+	if debugSrv != nil {
+		debugSrv.Shutdown(shutdownCtx)
+	}
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		log.Printf("xtalkd: http shutdown: %v", err)
 	}
@@ -164,6 +199,22 @@ func run(cfg daemonConfig) error {
 	}
 	log.Printf("xtalkd: drained; bye")
 	return nil
+}
+
+// debugMux builds the private debug listener: net/http/pprof plus the same
+// telemetry endpoints the public API serves, so profiling and scraping work
+// even when the public listener is saturated or firewalled.
+func debugMux(tel *obs.Telemetry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("GET /metrics", tel.MetricsHandler())
+	mux.HandleFunc("GET /debug/events", tel.EventsHandler())
+	mux.HandleFunc("GET /debug/trace/{id}", tel.TraceHandler())
+	return mux
 }
 
 // heartbeatLoop registers the worker with the coordinator immediately and

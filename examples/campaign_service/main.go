@@ -115,11 +115,52 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Println("\nGET /metrics")
+	fmt.Println("\nGET /metrics (sample lines)")
 	b, _ := io.ReadAll(metrics.Body)
 	metrics.Body.Close()
 	for _, line := range bytes.Split(bytes.TrimSpace(b), []byte("\n")) {
-		fmt.Println(" ", string(line))
+		if !bytes.HasPrefix(line, []byte("#")) {
+			fmt.Println(" ", string(line))
+		}
+	}
+
+	// The flight recorder holds the service's recent structured events —
+	// job transitions with their IDs — and each job's trace is one GET away.
+	fmt.Println("\nGET /debug/events (types)")
+	events, err := http.Get(base + "/debug/events")
+	if err != nil {
+		log.Fatal(err)
+	}
+	var evs []struct {
+		Type   string            `json:"type"`
+		Fields map[string]string `json:"fields"`
+	}
+	decodeInto(events, &evs)
+	for _, ev := range evs {
+		fmt.Printf("  %-12s job=%s\n", ev.Type, ev.Fields["job"])
+	}
+
+	fmt.Printf("\nGET /debug/trace/%s\n", st.ID)
+	trace, err := http.Get(base + "/debug/trace/" + st.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tb, _ := io.ReadAll(trace.Body)
+	trace.Body.Close()
+	for _, line := range bytes.Split(bytes.TrimSpace(tb), []byte("\n")) {
+		var span struct {
+			Name     string `json:"name"`
+			Parent   string `json:"parent"`
+			Duration int64  `json:"duration_ns"`
+		}
+		if err := json.Unmarshal(line, &span); err != nil {
+			log.Fatal(err)
+		}
+		indent := "  "
+		if span.Parent != "" {
+			indent = "    "
+		}
+		fmt.Printf("%s%-14s %s\n", indent, span.Name, time.Duration(span.Duration))
 	}
 }
 

@@ -70,6 +70,23 @@ func main() {
 		fmt.Printf("  %s  alive=%-5v shards=%d failures=%d\n", w.URL, w.Alive, w.Shards, w.Failures)
 	}
 
+	// The coordinator's span collector holds the whole distributed trace:
+	// worker-side spans rode back in each ShardResponse and were ingested
+	// under their dispatching span, so the tree nests across nodes.
+	fmt.Printf("\ntrace %s (coordinator and worker spans, nested)\n", fs.TraceID)
+	spans := coord.Obs().Tracer.Trace(fs.TraceID)
+	parent := make(map[string]string, len(spans))
+	for _, s := range spans {
+		parent[s.ID] = s.Parent
+	}
+	for _, s := range spans {
+		depth := 0
+		for p := s.Parent; p != ""; p = parent[p] {
+			depth++
+		}
+		fmt.Printf("  %*s%-16s %s\n", 2*depth, "", s.Name, s.Duration.Round(time.Microsecond))
+	}
+
 	// The same campaign on a single node, through the same campaign engine.
 	mgr := campaign.New(campaign.Config{})
 	outcomes, _, err := mgr.RunShard(context.Background(), spec, 0, spec.Size)

@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crosstalk"
 	"repro/internal/defects"
+	"repro/internal/obs"
 	"repro/internal/parwan"
 	"repro/internal/sim"
 )
@@ -324,15 +325,15 @@ func (j *Job) publishLocked() {
 
 // Metrics is a snapshot of the manager's counters.
 type Metrics struct {
-	JobsSubmitted      int64 `json:"jobs_submitted"`
-	JobsCompleted      int64 `json:"jobs_completed"`
-	JobsFailed         int64 `json:"jobs_failed"`
-	JobsCanceled       int64 `json:"jobs_canceled"`
-	JobsResumed        int64 `json:"jobs_resumed"`
-	DefectsSimulated   int64 `json:"defects_simulated"`
+	JobsSubmitted    int64 `json:"jobs_submitted"`
+	JobsCompleted    int64 `json:"jobs_completed"`
+	JobsFailed       int64 `json:"jobs_failed"`
+	JobsCanceled     int64 `json:"jobs_canceled"`
+	JobsResumed      int64 `json:"jobs_resumed"`
+	DefectsSimulated int64 `json:"defects_simulated"`
 	// ShardsServed counts fleet shard assignments this node executed as a
 	// worker (see internal/fleet and Manager.RunShard).
-	ShardsServed int64 `json:"shards_served"`
+	ShardsServed       int64 `json:"shards_served"`
 	GoldenCacheHits    int64 `json:"golden_cache_hits"`
 	GoldenCacheMisses  int64 `json:"golden_cache_misses"`
 	LibraryCacheHits   int64 `json:"library_cache_hits"`
@@ -350,6 +351,11 @@ type Config struct {
 	// Workers is the shared defect-run concurrency bound across all jobs;
 	// zero selects GOMAXPROCS.
 	Workers int
+	// Obs is the telemetry bundle the manager registers its metrics in and
+	// emits spans and events to; nil selects a fresh enabled bundle with a
+	// discarded log stream. Pass obs.Disabled() for a metrics-only manager
+	// (the telemetry-off benchmark baseline).
+	Obs *obs.Telemetry
 }
 
 type libKey struct {
@@ -363,6 +369,7 @@ type libKey struct {
 // Manager owns the job table, the shared worker pool and the caches.
 type Manager struct {
 	slots chan struct{}
+	obs   *obs.Telemetry
 
 	mu      sync.Mutex
 	closed  bool
@@ -374,9 +381,14 @@ type Manager struct {
 
 	wg sync.WaitGroup // running jobs, for Drain
 
-	jobsSubmitted, jobsCompleted, jobsFailed, jobsCanceled, jobsResumed atomic.Int64
-	defectsSimulated, shardsServed                                      atomic.Int64
-	goldenHits, goldenMisses, libHits, libMisses                        atomic.Int64
+	// All counters live in the obs registry, so the three concerns — the
+	// Metrics() snapshot API, the /metrics exposition, and synchronized
+	// concurrent reads — share one atomic source of truth.
+	jobsSubmitted, jobsCompleted, jobsFailed, jobsCanceled, jobsResumed *obs.Counter
+	defectsSimulated, shardsServed                                      *obs.Counter
+	goldenHits, goldenMisses, libHits, libMisses                        *obs.Counter
+	simLatency                                                          map[string]*obs.Histogram // per engine tier
+	queueWait                                                           *obs.Histogram
 }
 
 // New builds a manager with an idle shared pool.
@@ -385,16 +397,97 @@ func New(cfg Config) *Manager {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Manager{
+	t := cfg.Obs
+	if t == nil {
+		t = obs.NewTelemetry()
+	}
+	m := &Manager{
 		slots:   make(chan struct{}, w),
+		obs:     t,
 		jobs:    make(map[string]*Job),
 		runners: make(map[string]*sim.Runner),
 		libs:    make(map[libKey]*defects.Library),
+	}
+	reg := t.Reg
+	m.jobsSubmitted = reg.Counter("xtalkd_jobs_submitted_total", "campaign jobs accepted")
+	m.jobsCompleted = reg.Counter("xtalkd_jobs_completed_total", "campaign jobs finished successfully")
+	m.jobsFailed = reg.Counter("xtalkd_jobs_failed_total", "campaign jobs ended in error")
+	m.jobsCanceled = reg.Counter("xtalkd_jobs_canceled_total", "campaign jobs canceled")
+	m.jobsResumed = reg.Counter("xtalkd_jobs_resumed_total", "campaign jobs resumed from checkpoint")
+	m.defectsSimulated = reg.Counter("xtalkd_defects_simulated_total", "defect runs completed (jobs and shards)")
+	m.shardsServed = reg.Counter("xtalkd_fleet_shards_served_total", "fleet shard assignments executed as a worker")
+	m.goldenHits = reg.Counter("xtalkd_golden_cache_hits_total", "golden runner cache hits")
+	m.goldenMisses = reg.Counter("xtalkd_golden_cache_misses_total", "golden runner cache misses")
+	m.libHits = reg.Counter("xtalkd_library_cache_hits_total", "defect library cache hits")
+	m.libMisses = reg.Counter("xtalkd_library_cache_misses_total", "defect library cache misses")
+	reg.GaugeFunc("xtalkd_workers", "shared defect-run worker pool size",
+		func() float64 { return float64(cap(m.slots)) })
+	reg.GaugeFunc("xtalkd_workers_busy", "defect runs currently holding a pool slot",
+		func() float64 { return float64(len(m.slots)) })
+	reg.CounterFunc("xtalkd_engine_replay_hits_total", "defects resolved by trace replay alone",
+		m.engineStat(func(s sim.EngineStats) int64 { return s.ReplayHits }))
+	reg.CounterFunc("xtalkd_engine_fallbacks_total", "auto-engine runs that fell back to execution",
+		m.engineStat(func(s sim.EngineStats) int64 { return s.Fallbacks }))
+	reg.CounterFunc("xtalkd_engine_executes_total", "defect runs performed by the execute tier",
+		m.engineStat(func(s sim.EngineStats) int64 { return s.Executes }))
+	reg.CounterFunc("xtalkd_engine_screened_total", "replay-engine runs classified from divergence alone",
+		m.engineStat(func(s sim.EngineStats) int64 { return s.Screened }))
+	reg.CounterFunc("xtalkd_channel_memo_hits_total", "channel-transmit memo hits",
+		m.engineStat(func(s sim.EngineStats) int64 { return s.MemoHits }))
+	reg.CounterFunc("xtalkd_channel_memo_misses_total", "channel-transmit memo misses",
+		m.engineStat(func(s sim.EngineStats) int64 { return s.MemoMisses }))
+	m.simLatency = map[string]*obs.Histogram{
+		"replay": reg.Histogram("xtalkd_sim_defect_seconds", "per-defect simulation latency by engine tier",
+			nil, obs.Label{Key: "tier", Value: "replay"}),
+		"fallback": reg.Histogram("xtalkd_sim_defect_seconds", "per-defect simulation latency by engine tier",
+			nil, obs.Label{Key: "tier", Value: "fallback"}),
+		"execute": reg.Histogram("xtalkd_sim_defect_seconds", "per-defect simulation latency by engine tier",
+			nil, obs.Label{Key: "tier", Value: "execute"}),
+	}
+	m.queueWait = reg.Histogram("xtalkd_job_queue_wait_seconds",
+		"delay between job acceptance and its run starting", nil)
+	return m
+}
+
+// engineStat builds a scrape-time aggregate over every cached runner's
+// engine counters.
+func (m *Manager) engineStat(get func(sim.EngineStats) int64) func() float64 {
+	return func() float64 {
+		var total int64
+		m.mu.Lock()
+		for _, r := range m.runners {
+			total += get(r.Stats())
+		}
+		m.mu.Unlock()
+		return float64(total)
 	}
 }
 
 // Workers returns the shared pool size.
 func (m *Manager) Workers() int { return cap(m.slots) }
+
+// Obs returns the manager's telemetry bundle (never nil).
+func (m *Manager) Obs() *obs.Telemetry { return m.obs }
+
+// HealthFacts snapshots live registry facts for /healthz: pool occupancy and
+// the job table by state.
+func (m *Manager) HealthFacts() map[string]any {
+	m.mu.Lock()
+	byState := make(map[string]int)
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		byState[string(j.state)]++
+		j.mu.Unlock()
+	}
+	jobs := len(m.jobs)
+	m.mu.Unlock()
+	return map[string]any{
+		"workers":       cap(m.slots),
+		"busy_workers":  len(m.slots),
+		"jobs":          jobs,
+		"jobs_by_state": byState,
+	}
+}
 
 // Metrics snapshots the counters.
 func (m *Manager) Metrics() Metrics {
@@ -412,17 +505,17 @@ func (m *Manager) Metrics() Metrics {
 	m.mu.Unlock()
 	return Metrics{
 		Engine:             eng,
-		JobsSubmitted:      m.jobsSubmitted.Load(),
-		JobsCompleted:      m.jobsCompleted.Load(),
-		JobsFailed:         m.jobsFailed.Load(),
-		JobsCanceled:       m.jobsCanceled.Load(),
-		JobsResumed:        m.jobsResumed.Load(),
-		DefectsSimulated:   m.defectsSimulated.Load(),
-		ShardsServed:       m.shardsServed.Load(),
-		GoldenCacheHits:    m.goldenHits.Load(),
-		GoldenCacheMisses:  m.goldenMisses.Load(),
-		LibraryCacheHits:   m.libHits.Load(),
-		LibraryCacheMisses: m.libMisses.Load(),
+		JobsSubmitted:      m.jobsSubmitted.Value(),
+		JobsCompleted:      m.jobsCompleted.Value(),
+		JobsFailed:         m.jobsFailed.Value(),
+		JobsCanceled:       m.jobsCanceled.Value(),
+		JobsResumed:        m.jobsResumed.Value(),
+		DefectsSimulated:   m.defectsSimulated.Value(),
+		ShardsServed:       m.shardsServed.Value(),
+		GoldenCacheHits:    m.goldenHits.Value(),
+		GoldenCacheMisses:  m.goldenMisses.Value(),
+		LibraryCacheHits:   m.libHits.Value(),
+		LibraryCacheMisses: m.libMisses.Value(),
 		Workers:            cap(m.slots),
 		BusyWorkers:        len(m.slots),
 	}
@@ -454,8 +547,12 @@ func (m *Manager) Submit(spec Spec) (*Job, error) {
 	m.order = append(m.order, job.id)
 	m.wg.Add(1)
 	m.mu.Unlock()
-	m.jobsSubmitted.Add(1)
-	go m.run(ctx, job)
+	m.jobsSubmitted.Inc()
+	m.obs.Record("job.submit",
+		obs.Label{Key: "job", Value: job.id},
+		obs.Label{Key: "bus", Value: spec.Bus},
+		obs.Label{Key: "engine", Value: spec.Engine})
+	go m.run(ctx, job, time.Now())
 	return job, nil
 }
 
@@ -533,8 +630,9 @@ func (m *Manager) Resume(id string) (*Job, error) {
 	job.mu.Unlock()
 	m.wg.Add(1)
 	m.mu.Unlock()
-	m.jobsResumed.Add(1)
-	go m.run(ctx, job)
+	m.jobsResumed.Inc()
+	m.obs.Record("job.resume", obs.Label{Key: "job", Value: job.id})
+	go m.run(ctx, job, time.Now())
 	return job, nil
 }
 
@@ -654,14 +752,26 @@ func (m *Manager) libraryFor(spec Spec, setup sim.BusSetup) (*defects.Library, b
 	return lib, false, nil
 }
 
-// run executes a job to a terminal state.
-func (m *Manager) run(ctx context.Context, job *Job) {
+// run executes a job to a terminal state. enqueued is when the job entered
+// the table (submission or resume), for the queue-wait histogram.
+func (m *Manager) run(ctx context.Context, job *Job, enqueued time.Time) {
 	defer m.wg.Done()
+	if m.obs.Enabled() {
+		m.queueWait.ObserveSince(enqueued)
+		// The job ID is the trace ID, so GET /debug/trace/{jobID} finds the
+		// trace by the identifier operators already hold.
+		ctx = obs.WithTracer(ctx, m.obs.Tracer, job.id)
+	}
+	ctx, span := obs.StartSpan(ctx, "job.run",
+		obs.Label{Key: "job", Value: job.id},
+		obs.Label{Key: "bus", Value: job.spec.Bus},
+		obs.Label{Key: "engine", Value: job.spec.Engine})
 	job.mu.Lock()
 	job.state = Running
 	job.started = time.Now()
 	job.publishLocked()
 	job.mu.Unlock()
+	m.obs.Record("job.state", obs.Label{Key: "job", Value: job.id}, obs.Label{Key: "state", Value: string(Running)})
 
 	res, err := m.execute(ctx, job)
 
@@ -670,41 +780,51 @@ func (m *Manager) run(ctx context.Context, job *Job) {
 	case err == nil:
 		job.state = Done
 		job.result = res
-		m.jobsCompleted.Add(1)
+		m.jobsCompleted.Inc()
 	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
 		job.state = Canceled
 		job.err = context.Canceled
-		m.jobsCanceled.Add(1)
+		m.jobsCanceled.Inc()
 	default:
 		job.state = Failed
 		job.err = err
-		m.jobsFailed.Add(1)
+		m.jobsFailed.Inc()
 	}
+	terminal := job.state
 	job.finished = time.Now()
 	job.publishLocked()
 	close(job.done)
 	job.mu.Unlock()
+	m.obs.Record("job.state", obs.Label{Key: "job", Value: job.id}, obs.Label{Key: "state", Value: string(terminal)})
+	span.SetAttr("state", string(terminal))
+	span.End()
 }
 
 // execute performs the cached setup steps and the campaign proper.
 func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, error) {
 	spec := job.spec
+	_, setupSpan := obs.StartSpan(ctx, "job.setup")
 	addr, data, err := setups(spec.CthFactor)
 	if err != nil {
+		setupSpan.End()
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		setupSpan.End()
 		return nil, err
 	}
 	plan, err := planFor(spec)
 	if err != nil {
+		setupSpan.End()
 		return nil, err
 	}
 	runner, goldenHit, err := m.runnerFor(plan, addr, data, addr.Thresholds.Cth)
 	if err != nil {
+		setupSpan.End()
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		setupSpan.End()
 		return nil, err
 	}
 	setup := addr
@@ -712,6 +832,9 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, e
 		setup = data
 	}
 	lib, libHit, err := m.libraryFor(spec, setup)
+	setupSpan.SetAttr("golden_cached", fmt.Sprint(goldenHit))
+	setupSpan.SetAttr("library_cached", fmt.Sprint(libHit))
+	setupSpan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -784,12 +907,44 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, e
 			} else {
 				job.progress.Executed++
 			}
-			m.defectsSimulated.Add(1)
+			m.defectsSimulated.Inc()
 			job.publishLocked()
 		},
 		Engine: spec.engine(),
 	}
-	return runner.CampaignCtx(ctx, spec.busID(), lib, opts)
+	if m.obs.Enabled() {
+		observe := m.observeTier(spec.engine())
+		var fellBack atomic.Bool
+		opts.Observe = func(out sim.Outcome, d time.Duration) {
+			observe(out, d)
+			// One event per job, not per defect: the fact that the replay
+			// tier gave up is interesting; its thousandth repetition is not.
+			if !out.Replayed && opts.Engine == sim.Auto && fellBack.CompareAndSwap(false, true) {
+				m.obs.Record("engine.fallback", obs.Label{Key: "job", Value: job.id})
+			}
+		}
+	}
+	cctx, campSpan := obs.StartSpan(ctx, "job.campaign",
+		obs.Label{Key: "defects", Value: fmt.Sprint(len(lib.Defects))})
+	res, err := runner.CampaignCtx(cctx, spec.busID(), lib, opts)
+	campSpan.End()
+	return res, err
+}
+
+// observeTier maps a completed defect run to its engine tier's latency
+// histogram: replay (no CPU execution), execute (forced full execution), or
+// fallback (auto-engine replay divergence resolved by resumed execution).
+func (m *Manager) observeTier(engine sim.Engine) func(out sim.Outcome, d time.Duration) {
+	return func(out sim.Outcome, d time.Duration) {
+		tier := "fallback"
+		switch {
+		case out.Replayed:
+			tier = "replay"
+		case engine == sim.Execute:
+			tier = "execute"
+		}
+		m.simLatency[tier].Observe(d.Seconds())
+	}
 }
 
 // RunShard executes the defect-library index range [start, end) of the
@@ -847,15 +1002,24 @@ func (m *Manager) RunShard(ctx context.Context, spec Spec, start, end int) ([]si
 		Seed:       lib.Seed,
 		Defects:    lib.Defects[start:end],
 	}
-	res, err := runner.CampaignCtx(ctx, spec.busID(), sub, sim.CampaignOpts{
+	opts := sim.CampaignOpts{
 		Workers: cap(m.slots),
 		Slots:   m.slots,
 		Engine:  spec.engine(),
-	})
+	}
+	if m.obs.Enabled() {
+		opts.Observe = m.observeTier(spec.engine())
+	}
+	sctx, span := obs.StartSpan(ctx, "shard.execute",
+		obs.Label{Key: "start", Value: fmt.Sprint(start)},
+		obs.Label{Key: "end", Value: fmt.Sprint(end)},
+		obs.Label{Key: "bus", Value: spec.Bus})
+	res, err := runner.CampaignCtx(sctx, spec.busID(), sub, opts)
+	span.End()
 	if err != nil {
 		return nil, sim.EngineStats{}, err
 	}
-	m.shardsServed.Add(1)
+	m.shardsServed.Inc()
 	m.defectsSimulated.Add(int64(end - start))
 	return res.Outcomes, runner.Stats(), nil
 }

@@ -61,8 +61,10 @@ func NewServerWithInfo(m *Manager, info ServerInfo) *Server {
 	s.mux.HandleFunc("GET /v1/campaigns/{id}/watch", s.watch)
 	s.mux.HandleFunc("POST /v1/campaigns/{id}/resume", s.resume)
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.cancel)
-	s.mux.HandleFunc("GET /healthz", HealthzHandler(info.Role, info.Started))
-	s.mux.HandleFunc("GET /metrics", s.metrics)
+	s.mux.HandleFunc("GET /healthz", HealthzHandler(info.Role, info.Started, m.HealthFacts))
+	s.mux.HandleFunc("GET /metrics", m.Obs().MetricsHandler())
+	s.mux.HandleFunc("GET /debug/events", m.Obs().EventsHandler())
+	s.mux.HandleFunc("GET /debug/trace/{id}", m.Obs().TraceHandler())
 	return s
 }
 
@@ -73,23 +75,32 @@ type Health struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	GoVersion     string  `json:"go_version"`
 	Version       string  `json:"version"`
+	// Facts are live registry facts from the serving role: pool occupancy
+	// and job states for a campaign node, worker liveness and in-flight
+	// shards for a coordinator.
+	Facts map[string]any `json:"facts,omitempty"`
 }
 
 // HealthzHandler serves a structured liveness document: status, node role,
-// uptime since started, and build info. Shared by every xtalkd role.
-func HealthzHandler(role string, started time.Time) http.HandlerFunc {
+// uptime since started, build info, and the role's live facts (facts may be
+// nil). Shared by every xtalkd role.
+func HealthzHandler(role string, started time.Time, facts func() map[string]any) http.HandlerFunc {
 	version := "unknown"
 	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" {
 		version = bi.Main.Version
 	}
 	return func(w http.ResponseWriter, _ *http.Request) {
-		writeJSON(w, http.StatusOK, Health{
+		h := Health{
 			Status:        "ok",
 			Role:          role,
 			UptimeSeconds: time.Since(started).Seconds(),
 			GoVersion:     runtime.Version(),
 			Version:       version,
-		})
+		}
+		if facts != nil {
+			h.Facts = facts()
+		}
+		writeJSON(w, http.StatusOK, h)
 	}
 }
 
@@ -245,28 +256,4 @@ func (s *Server) cancel(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusAccepted, job.Status())
-}
-
-func (s *Server) metrics(w http.ResponseWriter, _ *http.Request) {
-	m := s.m.Metrics()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "xtalkd_jobs_submitted_total %d\n", m.JobsSubmitted)
-	fmt.Fprintf(w, "xtalkd_jobs_completed_total %d\n", m.JobsCompleted)
-	fmt.Fprintf(w, "xtalkd_jobs_failed_total %d\n", m.JobsFailed)
-	fmt.Fprintf(w, "xtalkd_jobs_canceled_total %d\n", m.JobsCanceled)
-	fmt.Fprintf(w, "xtalkd_jobs_resumed_total %d\n", m.JobsResumed)
-	fmt.Fprintf(w, "xtalkd_defects_simulated_total %d\n", m.DefectsSimulated)
-	fmt.Fprintf(w, "xtalkd_fleet_shards_served_total %d\n", m.ShardsServed)
-	fmt.Fprintf(w, "xtalkd_golden_cache_hits_total %d\n", m.GoldenCacheHits)
-	fmt.Fprintf(w, "xtalkd_golden_cache_misses_total %d\n", m.GoldenCacheMisses)
-	fmt.Fprintf(w, "xtalkd_library_cache_hits_total %d\n", m.LibraryCacheHits)
-	fmt.Fprintf(w, "xtalkd_library_cache_misses_total %d\n", m.LibraryCacheMisses)
-	fmt.Fprintf(w, "xtalkd_workers %d\n", m.Workers)
-	fmt.Fprintf(w, "xtalkd_workers_busy %d\n", m.BusyWorkers)
-	fmt.Fprintf(w, "xtalkd_engine_replay_hits_total %d\n", m.Engine.ReplayHits)
-	fmt.Fprintf(w, "xtalkd_engine_fallbacks_total %d\n", m.Engine.Fallbacks)
-	fmt.Fprintf(w, "xtalkd_engine_executes_total %d\n", m.Engine.Executes)
-	fmt.Fprintf(w, "xtalkd_engine_screened_total %d\n", m.Engine.Screened)
-	fmt.Fprintf(w, "xtalkd_channel_memo_hits_total %d\n", m.Engine.MemoHits)
-	fmt.Fprintf(w, "xtalkd_channel_memo_misses_total %d\n", m.Engine.MemoMisses)
 }

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/parwan"
 	"repro/internal/sim"
 )
@@ -43,6 +44,13 @@ type CoordinatorConfig struct {
 	// with no overall timeout (per-shard attempts are bounded by
 	// ShardTimeout contexts).
 	Client *http.Client
+	// Obs is the telemetry bundle the coordinator registers its metrics in
+	// and emits spans and events to; nil selects a fresh enabled bundle. Use
+	// a bundle separate from any campaign.Manager in the same process only
+	// if that manager serves a different /metrics endpoint; co-registered
+	// names never collide (fleet metrics are xtalkd_fleet_*-prefixed, except
+	// xtalkd_fleet_shards_served_total which belongs to the worker manager).
+	Obs *obs.Telemetry
 }
 
 func (c CoordinatorConfig) withDefaults() CoordinatorConfig {
@@ -77,6 +85,7 @@ type workerState struct {
 	url      string
 	lastSeen time.Time
 	dead     bool // marked on transport failure; a heartbeat revives it
+	expired  bool // TTL expiry already recorded, so the event fires once
 	shards   atomic.Int64
 	failures atomic.Int64
 }
@@ -99,6 +108,10 @@ type FleetStats struct {
 	Retries    int `json:"retries"`
 	ReplayHits int `json:"replay_hits"`
 	Executed   int `json:"executed"`
+	// TraceID identifies this campaign's trace in the coordinator's span
+	// collector (GET /debug/trace/{TraceID}), including the worker spans
+	// shipped back in shard responses. Empty when tracing is disabled.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // Coordinator owns the worker registry and drives distributed campaigns:
@@ -108,17 +121,62 @@ type FleetStats struct {
 // result.
 type Coordinator struct {
 	cfg CoordinatorConfig
+	obs *obs.Telemetry
 
 	mu      sync.Mutex
 	workers map[string]*workerState
 	rr      int // round-robin cursor
 
-	campaigns, campaignsFailed, shardsDispatched, shardRetries, defectsMerged atomic.Int64
+	campaigns, campaignsFailed, shardsDispatched, shardRetries, defectsMerged *obs.Counter
+	shardsInflight                                                            *obs.Gauge
+	shardRoundtrip, shardDispatch                                             *obs.Histogram
 }
 
 // NewCoordinator builds a coordinator with an empty registry.
 func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
-	return &Coordinator{cfg: cfg.withDefaults(), workers: make(map[string]*workerState)}
+	cfg = cfg.withDefaults()
+	t := cfg.Obs
+	if t == nil {
+		t = obs.NewTelemetry()
+	}
+	c := &Coordinator{cfg: cfg, obs: t, workers: make(map[string]*workerState)}
+	reg := t.Reg
+	c.campaigns = reg.Counter("xtalkd_fleet_campaigns_total", "distributed campaigns run")
+	c.campaignsFailed = reg.Counter("xtalkd_fleet_campaigns_failed_total", "distributed campaigns that failed")
+	c.shardsDispatched = reg.Counter("xtalkd_fleet_shards_dispatched_total", "shard assignments completed by workers")
+	c.shardRetries = reg.Counter("xtalkd_fleet_shard_retries_total", "shard attempts retried after a failure")
+	c.defectsMerged = reg.Counter("xtalkd_fleet_defects_merged_total", "defect outcomes merged from shards")
+	c.shardsInflight = reg.Gauge("xtalkd_fleet_shards_inflight", "shards currently dispatched and awaiting results")
+	c.shardRoundtrip = reg.Histogram("xtalkd_fleet_shard_roundtrip_seconds",
+		"one successful shard POST round-trip (excludes retries and backoff)", nil)
+	c.shardDispatch = reg.Histogram("xtalkd_fleet_shard_dispatch_seconds",
+		"one shard's full dispatch including retries and backoff", nil)
+	reg.GaugeFunc("xtalkd_fleet_workers", "registered workers",
+		func() float64 { return float64(len(c.Workers())) })
+	reg.GaugeFunc("xtalkd_fleet_workers_alive", "registered workers currently alive",
+		func() float64 { return float64(c.LiveWorkers()) })
+	return c
+}
+
+// Obs returns the coordinator's telemetry bundle (never nil).
+func (c *Coordinator) Obs() *obs.Telemetry { return c.obs }
+
+// HealthFacts snapshots live registry facts for /healthz: registered and
+// alive workers and in-flight shards.
+func (c *Coordinator) HealthFacts() map[string]any {
+	c.mu.Lock()
+	total, alive := len(c.workers), 0
+	for _, w := range c.workers {
+		if c.aliveLocked(w) {
+			alive++
+		}
+	}
+	c.mu.Unlock()
+	return map[string]any{
+		"workers":         total,
+		"workers_alive":   alive,
+		"shards_inflight": c.shardsInflight.Value(),
+	}
 }
 
 // Register adds a worker or refreshes its heartbeat. A worker marked dead
@@ -126,14 +184,22 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 // reachable again.
 func (c *Coordinator) Register(url string) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	w, ok := c.workers[url]
+	event := ""
 	if !ok {
 		w = &workerState{url: url}
 		c.workers[url] = w
+		event = "worker.join"
+	} else if w.dead || w.expired {
+		event = "worker.revive"
 	}
 	w.lastSeen = time.Now()
 	w.dead = false
+	w.expired = false
+	c.mu.Unlock()
+	if event != "" {
+		c.obs.Record(event, obs.Label{Key: "worker", Value: url})
+	}
 }
 
 // Workers snapshots the registry, sorted by URL.
@@ -167,11 +233,11 @@ func (c *Coordinator) Metrics() Metrics {
 	return Metrics{
 		Workers:          total,
 		WorkersAlive:     alive,
-		Campaigns:        c.campaigns.Load(),
-		CampaignsFailed:  c.campaignsFailed.Load(),
-		ShardsDispatched: c.shardsDispatched.Load(),
-		ShardRetries:     c.shardRetries.Load(),
-		DefectsMerged:    c.defectsMerged.Load(),
+		Campaigns:        c.campaigns.Value(),
+		CampaignsFailed:  c.campaignsFailed.Value(),
+		ShardsDispatched: c.shardsDispatched.Value(),
+		ShardRetries:     c.shardRetries.Value(),
+		DefectsMerged:    c.defectsMerged.Value(),
 	}
 }
 
@@ -180,6 +246,12 @@ func (c *Coordinator) aliveLocked(w *workerState) bool {
 		return false
 	}
 	if c.cfg.HeartbeatTTL > 0 && time.Since(w.lastSeen) > c.cfg.HeartbeatTTL {
+		if !w.expired {
+			// Flag before recording so the expiry event fires once per
+			// outage, not once per liveness check.
+			w.expired = true
+			c.obs.Record("worker.expire", obs.Label{Key: "worker", Value: w.url})
+		}
 		return false
 	}
 	return true
@@ -217,6 +289,7 @@ func (c *Coordinator) markDead(w *workerState) {
 	c.mu.Lock()
 	w.dead = true
 	c.mu.Unlock()
+	c.obs.Record("worker.dead", obs.Label{Key: "worker", Value: w.url})
 }
 
 // LiveWorkers returns the number of currently live workers.
@@ -239,11 +312,23 @@ func (c *Coordinator) LiveWorkers() int {
 // returned together with the bus width for report rendering and the fleet's
 // engine attribution.
 func (c *Coordinator) RunCampaign(ctx context.Context, spec campaign.Spec, shardCount int) (*sim.CampaignResult, int, FleetStats, error) {
-	res, width, stats, err := c.runCampaign(ctx, spec, shardCount)
-	c.campaigns.Add(1)
-	if err != nil {
-		c.campaignsFailed.Add(1)
+	traceID := ""
+	var span *obs.Span
+	if c.obs.Enabled() {
+		traceID = c.obs.Tracer.NewTraceID("f")
+		ctx = obs.WithTracer(ctx, c.obs.Tracer, traceID)
+		ctx, span = obs.StartSpan(ctx, "fleet.campaign",
+			obs.Label{Key: "bus", Value: spec.Bus})
 	}
+	res, width, stats, err := c.runCampaign(ctx, spec, shardCount)
+	stats.TraceID = traceID
+	c.campaigns.Inc()
+	if err != nil {
+		c.campaignsFailed.Inc()
+		span.SetAttr("error", err.Error())
+	}
+	span.SetAttr("shards", fmt.Sprint(stats.Shards))
+	span.End()
 	return res, width, stats, err
 }
 
@@ -294,6 +379,8 @@ func (c *Coordinator) runCampaign(ctx context.Context, spec campaign.Spec, shard
 				return
 			}
 			defer func() { <-sem }()
+			c.shardsInflight.Add(1)
+			defer c.shardsInflight.Add(-1)
 			resp, st, err := c.dispatchShard(ctx, spec, plan, sh)
 			if err != nil {
 				errs[i] = err
@@ -329,14 +416,29 @@ func (c *Coordinator) runCampaign(ctx context.Context, spec campaign.Spec, shard
 // dispatchShard runs one shard to completion: pick a live worker, post the
 // assignment, and on failure mark the worker and retry elsewhere with
 // exponential backoff, up to MaxAttempts.
-func (c *Coordinator) dispatchShard(ctx context.Context, spec campaign.Spec, plan *ShardPlan, sh Shard) (*ShardResponse, FleetStats, error) {
-	var st FleetStats
+func (c *Coordinator) dispatchShard(ctx context.Context, spec campaign.Spec, plan *ShardPlan, sh Shard) (resp *ShardResponse, st FleetStats, err error) {
+	ctx, span := obs.StartSpan(ctx, "shard.dispatch",
+		obs.Label{Key: "shard", Value: fmt.Sprint(sh.Index)},
+		obs.Label{Key: "start", Value: fmt.Sprint(sh.Start)},
+		obs.Label{Key: "end", Value: fmt.Sprint(sh.End)})
+	if c.obs.Enabled() {
+		t0 := time.Now()
+		defer func() {
+			c.shardDispatch.ObserveSince(t0)
+			span.SetAttr("retries", fmt.Sprint(st.Retries))
+			span.End()
+		}()
+	}
 	var lastErr error
 	avoid := ""
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			st.Retries++
-			c.shardRetries.Add(1)
+			c.shardRetries.Inc()
+			c.obs.Record("shard.retry",
+				obs.Label{Key: "shard", Value: fmt.Sprint(sh.Index)},
+				obs.Label{Key: "attempt", Value: fmt.Sprint(attempt)},
+				obs.Label{Key: "error", Value: fmt.Sprint(lastErr)})
 			backoff := c.cfg.Backoff << (attempt - 1)
 			select {
 			case <-time.After(backoff):
@@ -349,6 +451,7 @@ func (c *Coordinator) dispatchShard(ctx context.Context, spec campaign.Spec, pla
 			lastErr = fmt.Errorf("fleet: no live workers (last error: %v)", lastErr)
 			continue
 		}
+		span.SetAttr("worker", w.url)
 		resp, err := c.postShard(ctx, w, spec, plan, sh)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -361,7 +464,7 @@ func (c *Coordinator) dispatchShard(ctx context.Context, spec campaign.Spec, pla
 			continue
 		}
 		w.shards.Add(1)
-		c.shardsDispatched.Add(1)
+		c.shardsDispatched.Inc()
 		st.ReplayHits += resp.ReplayHits
 		st.Executed += resp.Executed
 		return resp, st, nil
@@ -387,6 +490,13 @@ func (c *Coordinator) postShard(ctx context.Context, w *workerState, spec campai
 		return nil, err
 	}
 	req.Header.Set("Content-Type", "application/json")
+	// Propagate the trace so the worker's spans join this campaign's trace
+	// (shipped back in the response and ingested below).
+	obs.InjectHeader(ctx, req.Header)
+	var t0 time.Time
+	if c.obs.Enabled() {
+		t0 = time.Now()
+	}
 	httpResp, err := c.cfg.Client.Do(req)
 	if err != nil {
 		return nil, err
@@ -403,6 +513,10 @@ func (c *Coordinator) postShard(ctx context.Context, w *workerState, spec campai
 	if resp.Start != sh.Start || len(resp.Outcomes) != sh.Len() {
 		return nil, fmt.Errorf("shard response covers [%d, %d), want [%d, %d)",
 			resp.Start, resp.Start+len(resp.Outcomes), sh.Start, sh.End)
+	}
+	if c.obs.Enabled() {
+		c.shardRoundtrip.ObserveSince(t0)
+		c.obs.Tracer.Ingest(resp.Spans)
 	}
 	return &resp, nil
 }

@@ -20,8 +20,11 @@ import (
 //	                          the body is the campaign-result JSON
 //	                          (byte-identical to a single-node run), with
 //	                          fleet attribution in X-Fleet-* headers
-//	GET  /healthz             role, uptime, build info
-//	GET  /metrics             text metrics exposition (fleet lines)
+//	GET  /healthz             role, uptime, build info, live registry facts
+//	GET  /metrics             Prometheus text exposition (fleet families)
+//	GET  /debug/events        flight-recorder ring as JSON
+//	GET  /debug/trace/{id}    one campaign trace as NDJSON (see
+//	                          FleetStats.TraceID / the X-Fleet-Trace header)
 type CoordinatorServer struct {
 	c   *Coordinator
 	mux *http.ServeMux
@@ -33,8 +36,10 @@ func NewCoordinatorServer(c *Coordinator) *CoordinatorServer {
 	s.mux.HandleFunc("POST /v1/fleet/workers", s.register)
 	s.mux.HandleFunc("GET /v1/fleet/workers", s.workers)
 	s.mux.HandleFunc("POST /v1/fleet/campaigns", s.campaign)
-	s.mux.HandleFunc("GET /healthz", campaign.HealthzHandler("coordinator", time.Now()))
-	s.mux.HandleFunc("GET /metrics", s.metrics)
+	s.mux.HandleFunc("GET /healthz", campaign.HealthzHandler("coordinator", time.Now(), c.HealthFacts))
+	s.mux.HandleFunc("GET /metrics", c.Obs().MetricsHandler())
+	s.mux.HandleFunc("GET /debug/events", c.Obs().EventsHandler())
+	s.mux.HandleFunc("GET /debug/trace/{id}", c.Obs().TraceHandler())
 	return s
 }
 
@@ -93,17 +98,8 @@ func (s *CoordinatorServer) campaign(w http.ResponseWriter, r *http.Request) {
 	h.Set("X-Fleet-Retries", strconv.Itoa(fs.Retries))
 	h.Set("X-Fleet-Replay-Hits", strconv.Itoa(fs.ReplayHits))
 	h.Set("X-Fleet-Executed", strconv.Itoa(fs.Executed))
+	if fs.TraceID != "" {
+		h.Set("X-Fleet-Trace", fs.TraceID)
+	}
 	report.WriteCampaignJSON(w, res, width)
-}
-
-func (s *CoordinatorServer) metrics(w http.ResponseWriter, _ *http.Request) {
-	m := s.c.Metrics()
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprintf(w, "xtalkd_fleet_workers %d\n", m.Workers)
-	fmt.Fprintf(w, "xtalkd_fleet_workers_alive %d\n", m.WorkersAlive)
-	fmt.Fprintf(w, "xtalkd_fleet_campaigns_total %d\n", m.Campaigns)
-	fmt.Fprintf(w, "xtalkd_fleet_campaigns_failed_total %d\n", m.CampaignsFailed)
-	fmt.Fprintf(w, "xtalkd_fleet_shards_dispatched_total %d\n", m.ShardsDispatched)
-	fmt.Fprintf(w, "xtalkd_fleet_shard_retries_total %d\n", m.ShardRetries)
-	fmt.Fprintf(w, "xtalkd_fleet_defects_merged_total %d\n", m.DefectsMerged)
 }

@@ -6,6 +6,7 @@ import (
 	"net/http"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 	"repro/internal/sim"
 )
 
@@ -35,6 +36,12 @@ type ShardResponse struct {
 	Executed   int `json:"executed"`
 	// Stats is the worker runner's cumulative engine counter snapshot.
 	Stats sim.EngineStats `json:"stats"`
+	// Spans are the worker-side spans of this shard's execution, joined to
+	// the coordinator's trace via the X-Xtalk-Trace request header. The
+	// coordinator ingests them so its collector holds the nested
+	// coordinator→worker trace. Excluded from campaign reports (the merge
+	// reads only Start and Outcomes), so byte-identity is unaffected.
+	Spans []obs.SpanRecord `json:"spans,omitempty"`
 }
 
 // Worker is the HTTP face of one fleet node: it executes shard assignments
@@ -77,13 +84,29 @@ func (w *Worker) shard(rw http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if key != req.Key {
+			w.m.Obs().Record("shard.conflict",
+				obs.Label{Key: "coordinator_key", Value: req.Key},
+				obs.Label{Key: "worker_key", Value: key})
 			writeJSONError(rw, http.StatusConflict,
 				fmt.Errorf("fleet: shard key mismatch: coordinator %s, worker %s (plan or library differs)",
 					req.Key, key))
 			return
 		}
 	}
-	outcomes, stats, err := w.m.RunShard(r.Context(), req.Spec, req.Start, req.End)
+	ctx := r.Context()
+	// Join the coordinator's trace: worker spans record into a per-request
+	// collector (bounded by the request's span count, a handful) and ship
+	// back in the response instead of sharing state across nodes.
+	var reqTracer *obs.Tracer
+	if trace, parent, ok := obs.ExtractHeader(r.Header); ok && w.m.Obs().Enabled() {
+		reqTracer = obs.NewTracer(64)
+		ctx = obs.WithRemoteParent(ctx, reqTracer, trace, parent)
+	}
+	ctx, span := obs.StartSpan(ctx, "worker.shard",
+		obs.Label{Key: "start", Value: fmt.Sprint(req.Start)},
+		obs.Label{Key: "end", Value: fmt.Sprint(req.End)})
+	outcomes, stats, err := w.m.RunShard(ctx, req.Spec, req.Start, req.End)
+	span.End()
 	if err != nil {
 		code := http.StatusInternalServerError
 		if r.Context().Err() != nil {
@@ -93,6 +116,9 @@ func (w *Worker) shard(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := ShardResponse{Start: req.Start, Outcomes: outcomes, Stats: stats}
+	if reqTracer != nil {
+		resp.Spans = reqTracer.Spans()
+	}
 	for _, out := range outcomes {
 		if out.Replayed {
 			resp.ReplayHits++

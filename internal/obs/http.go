@@ -1,0 +1,39 @@
+package obs
+
+import "net/http"
+
+// MetricsHandler serves the registry as Prometheus text exposition — the
+// single exposition path every /metrics endpoint in the stack shares.
+func (t *Telemetry) MetricsHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		t.Reg.WritePrometheus(w)
+	}
+}
+
+// EventsHandler serves the flight recorder as a JSON array (oldest first).
+func (t *Telemetry) EventsHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		t.Rec.WriteJSON(w)
+	}
+}
+
+// TraceHandler serves one trace's spans as NDJSON; it expects the route to
+// bind the trace identifier as the "id" path value (e.g. a job ID or a
+// fleet campaign trace ID).
+func (t *Telemetry) TraceHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		if id == "" {
+			http.Error(w, "missing trace id", http.StatusBadRequest)
+			return
+		}
+		if t.Tracer == nil || len(t.Tracer.Trace(id)) == 0 {
+			http.Error(w, "no spans retained for trace "+id, http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		t.Tracer.WriteNDJSON(w, id)
+	}
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"regexp"
+	"strings"
+)
+
+var (
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^{}]*\})? (-?[0-9.eE+]+(?:-[0-9]+)?|[+-]Inf|NaN)$`)
+	helpRe   = regexp.MustCompile(`^# (HELP|TYPE) ([a-zA-Z_:][a-zA-Z0-9_:]*)(?: (.*))?$`)
+)
+
+// LintExposition validates a Prometheus text exposition: every sample line
+// parses, every sample's family has # HELP and # TYPE lines before its
+// first sample, HELP/TYPE appear exactly once per family, TYPE is a known
+// kind, and no series (name + label set) appears twice. It is the shared
+// check behind the /metrics format tests and usable against any endpoint.
+func LintExposition(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	helped := map[string]bool{}
+	typed := map[string]string{}
+	seen := map[string]bool{}
+	sampled := map[string]bool{}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			m := helpRe.FindStringSubmatch(line)
+			if m == nil {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			name := m[2]
+			switch m[1] {
+			case "HELP":
+				if helped[name] {
+					return fmt.Errorf("line %d: duplicate HELP for %s", lineNo, name)
+				}
+				helped[name] = true
+			case "TYPE":
+				if _, dup := typed[name]; dup {
+					return fmt.Errorf("line %d: duplicate TYPE for %s", lineNo, name)
+				}
+				switch m[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown TYPE %q for %s", lineNo, m[3], name)
+				}
+				if !helped[name] {
+					return fmt.Errorf("line %d: TYPE for %s before its HELP", lineNo, name)
+				}
+				typed[name] = m[3]
+			}
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			return fmt.Errorf("line %d: malformed sample %q", lineNo, line)
+		}
+		name, labels := m[1], m[2]
+		family := name
+		if _, ok := typed[family]; !ok {
+			// Histogram samples carry the family name plus a suffix.
+			for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+				base := strings.TrimSuffix(name, suffix)
+				if base != name && typed[base] == "histogram" {
+					family = base
+					break
+				}
+			}
+		}
+		if typ, ok := typed[family]; !ok {
+			return fmt.Errorf("line %d: sample %s has no preceding # TYPE", lineNo, name)
+		} else if typ == "histogram" && family == name {
+			return fmt.Errorf("line %d: histogram %s sample without _bucket/_sum/_count suffix", lineNo, name)
+		}
+		key := name + labels
+		if seen[key] {
+			return fmt.Errorf("line %d: duplicate series %s", lineNo, key)
+		}
+		seen[key] = true
+		sampled[family] = true
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	for name := range helped {
+		if _, ok := typed[name]; !ok {
+			return fmt.Errorf("family %s has HELP but no TYPE", name)
+		}
+	}
+	for name := range typed {
+		if !sampled[name] {
+			return fmt.Errorf("family %s declared but has no samples", name)
+		}
+	}
+	if len(seen) == 0 {
+		return fmt.Errorf("empty exposition")
+	}
+	return nil
+}
+
+// ExpositionFamilies returns the family names declared by an exposition,
+// for cross-role uniqueness checks.
+func ExpositionFamilies(r io.Reader) (map[string]bool, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	out := map[string]bool{}
+	for sc.Scan() {
+		if m := helpRe.FindStringSubmatch(sc.Text()); m != nil && m[1] == "TYPE" {
+			out[m[2]] = true
+		}
+	}
+	return out, sc.Err()
+}

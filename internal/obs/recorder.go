@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// Event is one flight-recorder entry: a structured, timestamped fact about
+// the runtime (a job transition, a shard dispatch, a worker expiry).
+type Event struct {
+	Time   time.Time         `json:"time"`
+	Type   string            `json:"type"`
+	Fields map[string]string `json:"fields,omitempty"`
+}
+
+// Recorder is a bounded in-memory ring of recent events — the "what just
+// happened" a crashed or misbehaving daemon can be asked about after the
+// fact, without log shipping. Every recorded event is also mirrored to the
+// structured logger, so the ring and the log stream never disagree.
+type Recorder struct {
+	mu   sync.Mutex
+	ring []Event
+	next int
+	full bool
+	log  *slog.Logger
+}
+
+// NewRecorder builds a recorder retaining at most capacity events (minimum
+// 1). log may be nil to keep events only in the ring.
+func NewRecorder(capacity int, log *slog.Logger) *Recorder {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Recorder{ring: make([]Event, 0, capacity), log: log}
+}
+
+// Record appends one event and mirrors it to the logger.
+func (r *Recorder) Record(typ string, labels ...Label) {
+	if r == nil {
+		return
+	}
+	ev := Event{Time: time.Now(), Type: typ}
+	if len(labels) > 0 {
+		ev.Fields = make(map[string]string, len(labels))
+		for _, l := range labels {
+			ev.Fields[l.Key] = l.Value
+		}
+	}
+	r.mu.Lock()
+	if len(r.ring) < cap(r.ring) {
+		r.ring = append(r.ring, ev)
+	} else {
+		r.ring[r.next] = ev
+		r.next = (r.next + 1) % cap(r.ring)
+		r.full = true
+	}
+	r.mu.Unlock()
+	if r.log != nil {
+		args := make([]any, 0, 2*len(labels))
+		for _, l := range labels {
+			args = append(args, l.Key, l.Value)
+		}
+		r.log.Info(typ, args...)
+	}
+}
+
+// Events snapshots the ring, oldest first.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Event(nil), r.ring...)
+	}
+	out := make([]Event, 0, len(r.ring))
+	out = append(out, r.ring[r.next:]...)
+	out = append(out, r.ring[:r.next]...)
+	return out
+}
+
+// WriteJSON dumps the ring as a JSON array, oldest first.
+func (r *Recorder) WriteJSON(w io.Writer) error {
+	events := r.Events()
+	if events == nil {
+		events = []Event{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(events)
+}

@@ -1,0 +1,98 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestRecorderRingAndOrder(t *testing.T) {
+	r := NewRecorder(3, nil)
+	for _, typ := range []string{"a", "b", "c", "d", "e"} {
+		r.Record(typ, Label{"job", typ})
+	}
+	events := r.Events()
+	if len(events) != 3 {
+		t.Fatalf("ring holds %d events, want 3", len(events))
+	}
+	for i, want := range []string{"c", "d", "e"} {
+		if events[i].Type != want {
+			t.Fatalf("event %d = %s, want %s", i, events[i].Type, want)
+		}
+		if events[i].Fields["job"] != want {
+			t.Fatalf("event %d fields = %v", i, events[i].Fields)
+		}
+	}
+}
+
+func TestRecorderSlogMirror(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewTextHandler(&buf, nil))
+	r := NewRecorder(8, log)
+	r.Record("job.state", Label{"job", "j1"}, Label{"state", "running"})
+	out := buf.String()
+	for _, want := range []string{"job.state", "job=j1", "state=running"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("log line missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestRecorderWriteJSON(t *testing.T) {
+	r := NewRecorder(4, nil)
+	var buf bytes.Buffer
+	if err := r.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil {
+		t.Fatalf("empty recorder is not a JSON array: %v (%s)", err, buf.String())
+	}
+	if events == nil || len(events) != 0 {
+		t.Fatalf("expected empty array, got %v", events)
+	}
+
+	r.Record("x")
+	buf.Reset()
+	r.WriteJSON(&buf)
+	if err := json.Unmarshal(buf.Bytes(), &events); err != nil || len(events) != 1 {
+		t.Fatalf("events = %v err = %v", events, err)
+	}
+}
+
+func TestNilRecorderSafe(t *testing.T) {
+	var r *Recorder
+	r.Record("x")
+	if r.Events() != nil {
+		t.Fatal("nil recorder returned events")
+	}
+}
+
+func TestTelemetryModes(t *testing.T) {
+	on := NewTelemetry()
+	if !on.Enabled() {
+		t.Fatal("NewTelemetry not enabled")
+	}
+	on.Record("ev", Label{"k", "v"})
+	if len(on.Rec.Events()) != 1 {
+		t.Fatal("enabled telemetry dropped event")
+	}
+
+	off := Disabled()
+	if off.Enabled() {
+		t.Fatal("Disabled telemetry reports enabled")
+	}
+	off.Record("ev")
+	if off.Reg == nil {
+		t.Fatal("disabled telemetry must keep a working registry")
+	}
+	off.Reg.Counter("still_works_total", "x").Inc()
+
+	var nilT *Telemetry
+	if nilT.Enabled() {
+		t.Fatal("nil telemetry reports enabled")
+	}
+	nilT.Record("ev")
+}

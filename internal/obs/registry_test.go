@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_jobs_total", "jobs processed")
+	c.Add(3)
+	g := r.Gauge("test_queue_depth", "queued items")
+	g.Set(7)
+	r.GaugeFunc("test_workers", "pool size", func() float64 { return 4 })
+	h := r.Histogram("test_latency_seconds", "op latency", nil, Label{"tier", "replay"})
+	h.Observe(2e-6)
+	h.Observe(0.5)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	text := buf.String()
+	for _, want := range []string{
+		"# HELP test_jobs_total jobs processed",
+		"# TYPE test_jobs_total counter",
+		"test_jobs_total 3",
+		"# TYPE test_queue_depth gauge",
+		"test_queue_depth 7",
+		"test_workers 4",
+		"# TYPE test_latency_seconds histogram",
+		`test_latency_seconds_bucket{tier="replay",le="+Inf"} 2`,
+		`test_latency_seconds_count{tier="replay"} 2`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	if err := LintExposition(strings.NewReader(text)); err != nil {
+		t.Fatalf("own exposition fails lint: %v\n%s", err, text)
+	}
+}
+
+func TestRegistryIdempotentAndKindConflict(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("dup_total", "x")
+	b := r.Counter("dup_total", "x")
+	if a != b {
+		t.Fatal("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "x")
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("hist_seconds", "x", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if got := h.Sum(); got < 5.5 || got > 5.6 {
+		t.Fatalf("sum = %g, want ~5.555", got)
+	}
+	var buf bytes.Buffer
+	r.WritePrometheus(&buf)
+	for _, want := range []string{
+		`hist_seconds_bucket{le="0.01"} 1`,
+		`hist_seconds_bucket{le="0.1"} 2`,
+		`hist_seconds_bucket{le="1"} 3`,
+		`hist_seconds_bucket{le="+Inf"} 4`,
+		"hist_seconds_count 4",
+	} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("missing %q in:\n%s", want, buf.String())
+		}
+	}
+}
+
+func TestHistogramObserveSince(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("since_seconds", "x", nil)
+	h.ObserveSince(time.Now().Add(-10 * time.Millisecond))
+	if h.Count() != 1 || h.Sum() <= 0 {
+		t.Fatalf("count=%d sum=%g after ObserveSince", h.Count(), h.Sum())
+	}
+}
+
+func TestDurationBucketsShape(t *testing.T) {
+	b := DurationBuckets()
+	if len(b) != 13 || b[0] != 1e-6 {
+		t.Fatalf("unexpected duration buckets %v", b)
+	}
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			t.Fatalf("buckets not ascending at %d: %v", i, b)
+		}
+	}
+	if b[len(b)-1] < 10 {
+		t.Fatalf("largest bucket %g does not cover multi-second campaigns", b[len(b)-1])
+	}
+}
+
+// TestRegistryConcurrentScrape hammers updates and scrapes together; run
+// under -race this is the registry's thread-safety proof.
+func TestRegistryConcurrentScrape(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "x")
+	h := r.Histogram("conc_seconds", "x", nil, Label{"tier", "a"})
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				h.Observe(1e-4)
+			}
+		}()
+	}
+	for i := 0; i < 50; i++ {
+		if err := r.WritePrometheus(io.Discard); err != nil {
+			t.Error(err)
+		}
+		// Registration of a new labelled series may race scrapes too.
+		r.Histogram("conc_seconds", "x", nil, Label{"tier", "a"})
+	}
+	wg.Wait()
+	if c.Value() != 2000 || h.Count() != 2000 {
+		t.Fatalf("counter=%d hist=%d, want 2000 each", c.Value(), h.Count())
+	}
+}
+
+func TestLintExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"no type":          "foo 1\n",
+		"duplicate series": "# HELP foo x\n# TYPE foo counter\nfoo 1\nfoo 2\n",
+		"type before help": "# TYPE foo counter\nfoo 1\n",
+		"bad sample":       "# HELP foo x\n# TYPE foo counter\nfoo one\n",
+		"empty":            "",
+		"unknown kind":     "# HELP foo x\n# TYPE foo matrix\nfoo 1\n",
+	}
+	for name, text := range cases {
+		if err := LintExposition(strings.NewReader(text)); err == nil {
+			t.Errorf("%s: lint accepted %q", name, text)
+		}
+	}
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceHeaderName is the HTTP header carrying trace context across fleet
+// hops: "traceID/parentSpanID". A coordinator injects it on shard dispatch;
+// the worker's spans join the coordinator's trace and are shipped back in
+// the shard response, so the coordinator's collector holds the nested
+// coordinator→worker trace.
+const TraceHeaderName = "X-Xtalk-Trace"
+
+// SpanRecord is one finished span, the unit stored in a Tracer and dumped
+// as NDJSON. Durations are monotonic (measured with the runtime's monotonic
+// clock); Start is wall time for display only.
+type SpanRecord struct {
+	Trace    string            `json:"trace"`
+	ID       string            `json:"id"`
+	Parent   string            `json:"parent,omitempty"`
+	Name     string            `json:"name"`
+	Start    time.Time         `json:"start"`
+	Duration time.Duration     `json:"duration_ns"`
+	Attrs    map[string]string `json:"attrs,omitempty"`
+}
+
+// Tracer is a bounded collector of finished spans: a ring that keeps the
+// most recent spans, so a long-lived daemon's memory stays flat no matter
+// how many campaigns it traces.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []SpanRecord
+	next int
+	full bool
+
+	traceSeq atomic.Uint64 // NewTraceID
+}
+
+// Span IDs are process-unique, not per-tracer: a worker's per-request
+// collector and the coordinator's collector must never mint the same ID,
+// or Ingest would splice two unrelated spans into one parent chain. The
+// process tag keeps IDs from distinct nodes distinct too.
+var (
+	spanSeq atomic.Uint64
+	procTag = fmt.Sprintf("%05x", (uint64(os.Getpid())<<24^uint64(time.Now().UnixNano()))&0xfffff)
+)
+
+// NewTracer builds a tracer retaining at most capacity finished spans
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]SpanRecord, 0, capacity)}
+}
+
+// NewTraceID returns a process-unique trace identifier with the given
+// prefix (e.g. "f" for fleet campaigns).
+func (t *Tracer) NewTraceID(prefix string) string {
+	return fmt.Sprintf("%s%06d", prefix, t.traceSeq.Add(1))
+}
+
+func (t *Tracer) newSpanID() string {
+	return fmt.Sprintf("s%s-%08x", procTag, spanSeq.Add(1))
+}
+
+// add appends one finished span to the ring.
+func (t *Tracer) add(rec SpanRecord) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, rec)
+		return
+	}
+	t.ring[t.next] = rec
+	t.next = (t.next + 1) % cap(t.ring)
+	t.full = true
+}
+
+// Ingest adds externally produced spans (a worker's contribution to a
+// coordinator trace) to the collector.
+func (t *Tracer) Ingest(spans []SpanRecord) {
+	for _, s := range spans {
+		t.add(s)
+	}
+}
+
+// Spans snapshots the collector, oldest first.
+func (t *Tracer) Spans() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if !t.full {
+		return append([]SpanRecord(nil), t.ring...)
+	}
+	out := make([]SpanRecord, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Trace returns the retained spans of one trace, oldest first.
+func (t *Tracer) Trace(traceID string) []SpanRecord {
+	all := t.Spans()
+	out := all[:0:0]
+	for _, s := range all {
+		if s.Trace == traceID {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// WriteNDJSON dumps spans as newline-delimited JSON, one span per line.
+// traceID "" dumps every retained span.
+func (t *Tracer) WriteNDJSON(w io.Writer, traceID string) error {
+	spans := t.Spans()
+	enc := json.NewEncoder(w)
+	for _, s := range spans {
+		if traceID != "" && s.Trace != traceID {
+			continue
+		}
+		if err := enc.Encode(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// spanCtx is the active trace position carried by a context: which tracer
+// collects, which trace we are in, and the current span (the parent of any
+// span started from this context).
+type spanCtx struct {
+	tracer *Tracer
+	trace  string
+	spanID string
+}
+
+type ctxKey struct{}
+
+// WithTracer roots a trace: spans started from the returned context join
+// traceID and record into tr. Typically traceID is a job or campaign ID so
+// /debug/trace/{id} finds the trace by the identifier operators already
+// hold.
+func WithTracer(ctx context.Context, tr *Tracer, traceID string) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, spanCtx{tracer: tr, trace: traceID})
+}
+
+// WithRemoteParent continues a trace received over the wire: spans started
+// from the returned context record into tr but parent to the remote span.
+func WithRemoteParent(ctx context.Context, tr *Tracer, trace, parent string) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, spanCtx{tracer: tr, trace: trace, spanID: parent})
+}
+
+// TraceID returns the context's trace identifier, or "".
+func TraceID(ctx context.Context) string {
+	sc, _ := ctx.Value(ctxKey{}).(spanCtx)
+	return sc.trace
+}
+
+// Span is one in-flight span. A nil Span (from a context without a tracer)
+// is valid and free: every method no-ops.
+type Span struct {
+	tracer *Tracer
+	rec    SpanRecord
+	t0     time.Time
+}
+
+// StartSpan opens a span named name under the context's current span (or
+// as a trace root) and returns a child context carrying it. When the
+// context has no tracer, the original context and a nil span are returned —
+// instrumented code needs no branches.
+func StartSpan(ctx context.Context, name string, attrs ...Label) (context.Context, *Span) {
+	sc, ok := ctx.Value(ctxKey{}).(spanCtx)
+	if !ok || sc.tracer == nil {
+		return ctx, nil
+	}
+	now := time.Now() // carries the monotonic reading End() subtracts
+	s := &Span{
+		tracer: sc.tracer,
+		t0:     now,
+		rec: SpanRecord{
+			Trace:  sc.trace,
+			ID:     sc.tracer.newSpanID(),
+			Parent: sc.spanID,
+			Name:   name,
+			Start:  now,
+		},
+	}
+	for _, a := range attrs {
+		s.SetAttr(a.Key, a.Value)
+	}
+	child := context.WithValue(ctx, ctxKey{}, spanCtx{tracer: sc.tracer, trace: sc.trace, spanID: s.rec.ID})
+	return child, s
+}
+
+// SetAttr attaches one attribute to the span.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	if s.rec.Attrs == nil {
+		s.rec.Attrs = make(map[string]string, 4)
+	}
+	s.rec.Attrs[key] = value
+}
+
+// End finishes the span and files it with the tracer.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.rec.Duration = time.Since(s.t0)
+	s.tracer.add(s.rec)
+}
+
+// InjectHeader writes the context's trace position into an outgoing HTTP
+// header, if a trace is active.
+func InjectHeader(ctx context.Context, h http.Header) {
+	sc, ok := ctx.Value(ctxKey{}).(spanCtx)
+	if !ok || sc.trace == "" {
+		return
+	}
+	h.Set(TraceHeaderName, sc.trace+"/"+sc.spanID)
+}
+
+// ExtractHeader reads a trace position from an incoming HTTP header.
+func ExtractHeader(h http.Header) (trace, parent string, ok bool) {
+	v := h.Get(TraceHeaderName)
+	if v == "" {
+		return "", "", false
+	}
+	trace, parent, _ = strings.Cut(v, "/")
+	return trace, parent, trace != ""
+}

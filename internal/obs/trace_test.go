@@ -1,0 +1,154 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func TestSpanNestingAndTraceDump(t *testing.T) {
+	tr := NewTracer(16)
+	ctx := WithTracer(context.Background(), tr, "job-1")
+	if TraceID(ctx) != "job-1" {
+		t.Fatalf("TraceID = %q", TraceID(ctx))
+	}
+	ctx, root := StartSpan(ctx, "campaign", Label{"job", "job-1"})
+	cctx, child := StartSpan(ctx, "shard")
+	_ = cctx
+	child.End()
+	root.End()
+
+	spans := tr.Trace("job-1")
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	// Ring order is completion order: child ends first.
+	if spans[0].Name != "shard" || spans[1].Name != "campaign" {
+		t.Fatalf("unexpected span order: %s, %s", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Parent != spans[1].ID {
+		t.Fatalf("child parent %q != root id %q", spans[0].Parent, spans[1].ID)
+	}
+	if spans[1].Parent != "" {
+		t.Fatalf("root has parent %q", spans[1].Parent)
+	}
+	if spans[1].Attrs["job"] != "job-1" {
+		t.Fatalf("root attrs = %v", spans[1].Attrs)
+	}
+	if spans[0].Duration < 0 || spans[1].Duration < spans[0].Duration {
+		t.Fatalf("durations not nested: root %v child %v", spans[1].Duration, spans[0].Duration)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.WriteNDJSON(&buf, "job-1"); err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(&buf)
+	n := 0
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("NDJSON line %d: %v", n, err)
+		}
+		if rec.Trace != "job-1" {
+			t.Fatalf("line %d trace %q", n, rec.Trace)
+		}
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("NDJSON lines = %d, want 2", n)
+	}
+}
+
+func TestStartSpanWithoutTracerIsFree(t *testing.T) {
+	ctx := context.Background()
+	ctx2, s := StartSpan(ctx, "noop", Label{"k", "v"})
+	if s != nil {
+		t.Fatal("expected nil span without tracer")
+	}
+	if ctx2 != ctx {
+		t.Fatal("expected original context back")
+	}
+	// All nil-span methods must be safe.
+	s.SetAttr("a", "b")
+	s.End()
+	if TraceID(ctx) != "" {
+		t.Fatalf("TraceID = %q", TraceID(ctx))
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	tr := NewTracer(3)
+	ctx := WithTracer(context.Background(), tr, "t")
+	for i := 0; i < 5; i++ {
+		_, s := StartSpan(ctx, "s")
+		s.End()
+	}
+	if got := len(tr.Spans()); got != 3 {
+		t.Fatalf("ring holds %d spans, want 3", got)
+	}
+}
+
+func TestHeaderRoundTripAndRemoteParent(t *testing.T) {
+	tr := NewTracer(8)
+	ctx := WithTracer(context.Background(), tr, "f000001")
+	ctx, disp := StartSpan(ctx, "shard.dispatch")
+
+	h := http.Header{}
+	InjectHeader(ctx, h)
+	if h.Get(TraceHeaderName) == "" {
+		t.Fatal("no trace header injected")
+	}
+
+	trace, parent, ok := ExtractHeader(h)
+	if !ok || trace != "f000001" || parent == "" {
+		t.Fatalf("extract = %q/%q/%v", trace, parent, ok)
+	}
+
+	// Worker side: its own tracer, joined to the remote trace.
+	wtr := NewTracer(8)
+	wctx := WithRemoteParent(context.Background(), wtr, trace, parent)
+	_, ws := StartSpan(wctx, "worker.shard")
+	ws.End()
+	disp.End()
+
+	workerSpans := wtr.Trace("f000001")
+	if len(workerSpans) != 1 {
+		t.Fatalf("worker spans = %d", len(workerSpans))
+	}
+	// Coordinator ingests; the worker span parents to the dispatch span.
+	tr.Ingest(workerSpans)
+	all := tr.Trace("f000001")
+	if len(all) != 2 {
+		t.Fatalf("merged spans = %d", len(all))
+	}
+	var dispID, workerParent string
+	for _, s := range all {
+		switch s.Name {
+		case "shard.dispatch":
+			dispID = s.ID
+		case "worker.shard":
+			workerParent = s.Parent
+		}
+	}
+	if dispID == "" || workerParent != dispID {
+		t.Fatalf("worker span parent %q does not nest under dispatch span %q", workerParent, dispID)
+	}
+}
+
+func TestExtractHeaderMissing(t *testing.T) {
+	if _, _, ok := ExtractHeader(http.Header{}); ok {
+		t.Fatal("extracted trace from empty header")
+	}
+}
+
+func TestNewTraceIDUnique(t *testing.T) {
+	tr := NewTracer(1)
+	a, b := tr.NewTraceID("f"), tr.NewTraceID("f")
+	if a == b {
+		t.Fatalf("duplicate trace IDs %q", a)
+	}
+}

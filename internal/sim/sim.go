@@ -24,6 +24,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/crosstalk"
@@ -299,6 +300,13 @@ type CampaignOpts struct {
 	// defect run is then skipped. Defect runs are deterministic, so reusing
 	// a checkpointed outcome cannot change the aggregate result.
 	Skip func(i int) (Outcome, bool)
+	// Observe, when non-nil, receives each completed defect run's outcome
+	// and wall-clock duration (skipped defects are not observed). It may be
+	// called concurrently from several workers and must only read timing —
+	// it sees the outcome after the verdict is final, so it cannot perturb
+	// results. The campaign service uses it for per-engine-tier latency
+	// histograms.
+	Observe func(out Outcome, d time.Duration)
 }
 
 // Campaign simulates every defect in the library on the given bus. Defect
@@ -358,7 +366,14 @@ func (r *Runner) CampaignCtx(ctx context.Context, bus core.BusID, lib *defects.L
 				if opts.Slots != nil {
 					opts.Slots <- struct{}{}
 				}
+				var t0 time.Time
+				if opts.Observe != nil {
+					t0 = time.Now()
+				}
 				out, err := r.RunDefectEngine(bus, lib.Defects[i].Params, opts.Engine)
+				if opts.Observe != nil && err == nil {
+					opts.Observe(out, time.Since(t0))
+				}
 				if opts.Slots != nil {
 					<-opts.Slots
 				}

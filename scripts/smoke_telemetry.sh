@@ -1,0 +1,50 @@
+#!/bin/sh
+# smoke_telemetry.sh boots a real xtalkd, submits one small campaign, and
+# asserts the telemetry endpoints answer on the live daemon: /metrics must
+# serve a non-empty Prometheus exposition, /debug/events a non-empty event
+# array, and /debug/trace/{job} the job's spans. Run by CI after the unit
+# tests to catch wiring regressions a package test cannot (route conflicts,
+# handler registration, daemon startup).
+#
+# Usage: scripts/smoke_telemetry.sh [port]
+set -eu
+
+port=${1:-18095}
+base="http://127.0.0.1:$port"
+cd "$(dirname "$0")/.."
+
+go build -o /tmp/xtalkd-smoke ./cmd/xtalkd
+/tmp/xtalkd-smoke -addr "127.0.0.1:$port" &
+pid=$!
+trap 'kill "$pid" 2>/dev/null || true' EXIT INT TERM
+
+# Wait for the daemon to accept connections.
+i=0
+until curl -fsS "$base/healthz" >/dev/null 2>&1; do
+    i=$((i + 1))
+    [ "$i" -lt 50 ] || { echo "xtalkd did not come up on $base" >&2; exit 1; }
+    sleep 0.1
+done
+
+job=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+    -d '{"bus":"addr","size":60,"seed":1,"target_only":true}' \
+    "$base/v1/campaigns" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p' | head -n 1)
+[ -n "$job" ] || { echo "campaign submission returned no job id" >&2; exit 1; }
+
+# Stream progress until the job reaches a terminal state.
+curl -fsS "$base/v1/campaigns/$job/watch" >/dev/null
+
+metrics=$(curl -fsS "$base/metrics")
+echo "$metrics" | grep -q '^# TYPE xtalkd_jobs_submitted_total counter$' ||
+    { echo "metrics exposition missing typed job counter:"; echo "$metrics"; exit 1; } >&2
+echo "$metrics" | grep -q '^xtalkd_sim_defect_seconds_bucket{tier="replay",le="+Inf"} ' ||
+    { echo "metrics exposition missing per-tier latency histogram:"; echo "$metrics"; exit 1; } >&2
+
+curl -fsS "$base/debug/events" | grep -q '"type": *"job.submit"' ||
+    { echo "flight recorder has no job.submit event" >&2; exit 1; }
+
+curl -fsS "$base/debug/trace/$job" | grep -q '"name": *"job.run"' ||
+    { echo "trace for $job has no job.run span" >&2; exit 1; }
+
+echo "telemetry smoke ok: $(echo "$metrics" | grep -c '^# TYPE') families," \
+    "job $job traced and recorded" >&2
