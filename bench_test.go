@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/crosstalk"
 	"repro/internal/defects"
+	"repro/internal/diagnose"
 	"repro/internal/fleet"
 	"repro/internal/maf"
 	"repro/internal/obs"
@@ -336,6 +337,76 @@ func BenchmarkE5_TelemetryOverhead(b *testing.B) {
 	b.ReportMetric(float64(tOn.Nanoseconds())/float64(b.N), "on-ns/op")
 	b.ReportMetric(float64(tOff.Nanoseconds())/float64(b.N), "off-ns/op")
 	b.ReportMetric((float64(tOn)/float64(tOff)-1)*100, "overhead-%")
+}
+
+// BenchmarkE5_MinimizedProgram measures the payoff of the diagnose
+// subsystem's set-cover minimization (the "minimize" job): the E5
+// address-bus campaign under the full program versus the verified minimized
+// program. Setup — the full campaign, the greedy cover and the
+// verify-augment repair rounds — happens outside the timer; the timed loop
+// interleaves one full and one minimized campaign so machine drift cancels
+// out of the speedup. The reported ns/op covers one full+minimized pair;
+// the split is in the full-ns/op and min-ns/op metrics, and the program
+// shrinkage in full/min-tests and full/min-cycles.
+func BenchmarkE5_MinimizedProgram(b *testing.B) {
+	plan := mustPlan(b, core.GenConfig{})
+	r := mustRunner(b, plan)
+	addr, data := mustSetups(b)
+	lib := mustLibrary(b, addr, benchLibrarySize, 3001)
+	full, err := r.Campaign(core.AddrBus, lib)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sets := diagnose.Collect(full.Outcomes)
+	cover := diagnose.GreedyCover(sets)
+	var minPlan *core.Plan
+	var minRunner *sim.Runner
+	repair, err := diagnose.RepairCover(sets, cover, full.Outcomes, 0,
+		func(filter func(maf.Fault) bool) ([]sim.Outcome, error) {
+			var err error
+			if minPlan, err = core.Generate(core.GenConfig{Filter: filter}); err != nil {
+				return nil, err
+			}
+			if minRunner, err = sim.NewRunner(minPlan, addr, data); err != nil {
+				return nil, err
+			}
+			res, err := minRunner.Campaign(core.AddrBus, lib)
+			if err != nil {
+				return nil, err
+			}
+			return res.Outcomes, nil
+		})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !repair.Verification.Identical {
+		b.Fatalf("minimized program not byte-identical after %d rounds: %+v",
+			repair.Rounds, repair.Verification)
+	}
+	var tFull, tMin time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		if _, err := r.Campaign(core.AddrBus, lib); err != nil {
+			b.Fatal(err)
+		}
+		t1 := time.Now()
+		if _, err := minRunner.Campaign(core.AddrBus, lib); err != nil {
+			b.Fatal(err)
+		}
+		tFull += t1.Sub(t0)
+		tMin += time.Since(t1)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(tFull.Nanoseconds())/float64(b.N), "full-ns/op")
+	b.ReportMetric(float64(tMin.Nanoseconds())/float64(b.N), "min-ns/op")
+	b.ReportMetric(float64(plan.TotalApplied()), "full-tests")
+	b.ReportMetric(float64(minPlan.TotalApplied()), "min-tests")
+	b.ReportMetric(float64(r.GoldenCycles()), "full-cycles")
+	b.ReportMetric(float64(minRunner.GoldenCycles()), "min-cycles")
+	b.Logf("E5min: %d -> %d applied tests (%d chosen + %d augmented of %d dictionary tests), %d -> %d golden cycles, verification identical in %d rounds",
+		plan.TotalApplied(), minPlan.TotalApplied(), len(cover.Chosen), len(repair.Added),
+		cover.FullTests, r.GoldenCycles(), minRunner.GoldenCycles(), repair.Rounds)
 }
 
 // BenchmarkE6_BaselineComparison regenerates the paper's comparison claims

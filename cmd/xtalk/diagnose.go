@@ -1,0 +1,249 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/defects"
+	"repro/internal/fleet"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// The diagnose, minimize and rank subcommands run a base defect-simulation
+// campaign and layer the internal/diagnose analytics on top, emitting the
+// deterministic JSON documents of internal/report. Standalone runs go
+// through a local campaign.Manager (the same path xtalkd serves); with
+// -workers the base campaign — and, for minimize, every verification round —
+// is distributed across fleet workers, and the identical analysis runs on
+// the merged result.
+
+// analysisFlags are the flags shared by the three analysis subcommands.
+type analysisFlags struct {
+	bus        *string
+	size       *int
+	seed       *int64
+	compaction *bool
+	engine     *string
+	out        *string
+	workers    *string
+	shards     *int
+}
+
+func newAnalysisFlags(fs *flag.FlagSet) *analysisFlags {
+	return &analysisFlags{
+		bus:        fs.String("bus", "addr", "bus to test: addr or data"),
+		size:       fs.Int("size", defects.DefaultLibrarySize, "defect library size"),
+		seed:       fs.Int64("seed", 1, "random seed"),
+		compaction: fs.Bool("compaction", false, "compact responses"),
+		engine:     fs.String("engine", "auto", "simulation engine: auto, execute, or replay"),
+		out:        fs.String("o", "", "write the JSON report to this file (default stdout)"),
+		workers:    fs.String("workers", "", "comma-separated fleet worker base URLs; runs the campaigns distributed"),
+		shards:     fs.Int("shards", 0, "fleet shard count (0 = 4 per worker)"),
+	}
+}
+
+func (af *analysisFlags) spec(jobType string) campaign.Spec {
+	return campaign.Spec{
+		Bus:        *af.bus,
+		Type:       jobType,
+		Size:       *af.size,
+		Seed:       *af.seed,
+		Compaction: *af.compaction,
+		Engine:     *af.engine,
+	}
+}
+
+func cmdDiagnose(args []string) error {
+	fs := flag.NewFlagSet("diagnose", flag.ExitOnError)
+	af := newAnalysisFlags(fs)
+	signature := fs.String("signature", "",
+		"comma-separated failing MA test names to localize, e.g. 'dr[3]/fwd,gp[2]/fwd'")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	spec := af.spec(campaign.TypeDiagnose)
+	for _, s := range strings.Split(*signature, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			spec.Signature = append(spec.Signature, s)
+		}
+	}
+	an, err := runAnalysis(spec, *af.workers, *af.shards)
+	if err != nil {
+		return err
+	}
+	d := an.Diagnosis
+	fmt.Fprintf(os.Stderr, "diagnose: %s bus, %d defects: %d detected, %d attributed (%d crash-only), %d signature classes over %d tests\n",
+		spec.Bus, d.Stats.Defects, d.Stats.Detected, d.Stats.Attributed, d.Stats.CrashOnly, d.Stats.Classes, d.Stats.Tests)
+	if d.Accuracy != nil {
+		fmt.Fprintf(os.Stderr, "self-diagnosis accuracy: top-1 %d/%d, top-3 %d/%d\n",
+			d.Accuracy.TopHit, d.Accuracy.Evaluated, d.Accuracy.Top3Hit, d.Accuracy.Evaluated)
+	}
+	for i, c := range d.Candidates {
+		if i >= 5 {
+			break
+		}
+		fmt.Fprintf(os.Stderr, "candidate %d: %s score %.3f (%d exact)\n", i+1, c.Fault, c.Score, c.Exact)
+	}
+	return writeReport(*af.out, func(w *os.File) error { return report.WriteDiagnosisJSON(w, d) })
+}
+
+func cmdMinimize(args []string) error {
+	fs := flag.NewFlagSet("minimize", flag.ExitOnError)
+	af := newAnalysisFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	an, err := runAnalysis(af.spec(campaign.TypeMinimize), *af.workers, *af.shards)
+	if err != nil {
+		return err
+	}
+	m := an.Minimize
+	fmt.Fprintf(os.Stderr, "minimize: %d of %d tests cover all %d attributed defects (%.1f%% reduction, +%d augmented in %d verify rounds)\n",
+		len(m.Chosen), m.FullTests, m.Coverable, m.Reduction*100, len(m.Augmented), m.VerifyRounds)
+	fmt.Fprintf(os.Stderr, "program: %d -> %d applied tests\n", m.FullProgramTests, m.MinProgramTests)
+	if m.Verification != nil {
+		if m.Verification.Identical {
+			fmt.Fprintf(os.Stderr, "verification: detection vectors byte-identical (%d/%d detected, hash %s)\n",
+				m.Verification.MinDetected, m.Verification.Total, m.Verification.MinHash[:12])
+		} else {
+			fmt.Fprintf(os.Stderr, "verification: %d mismatches remain after repair\n", len(m.Verification.Mismatches))
+		}
+	}
+	return writeReport(*af.out, func(w *os.File) error { return report.WriteMinimizeJSON(w, m) })
+}
+
+func cmdRank(args []string) error {
+	fs := flag.NewFlagSet("rank", flag.ExitOnError)
+	af := newAnalysisFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	an, err := runAnalysis(af.spec(campaign.TypeRank), *af.workers, *af.shards)
+	if err != nil {
+		return err
+	}
+	r := an.Rank
+	tbl := report.NewTable(fmt.Sprintf("Wire vulnerability ranking (%s bus)", r.Bus),
+		"wire", "detected", "unique", "over-threshold", "share %")
+	for _, wr := range r.Wires {
+		tbl.AddRow(wr.Wire+1, wr.Detected, wr.Unique, wr.OverThreshold, wr.Share*100)
+	}
+	if err := tbl.Write(os.Stderr); err != nil {
+		return err
+	}
+	return writeReport(*af.out, func(w *os.File) error { return report.WriteRankJSON(w, r) })
+}
+
+// writeReport renders a JSON document to the -o file, or stdout without one.
+func writeReport(path string, write func(*os.File) error) error {
+	if path == "" {
+		return write(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "report written to %s\n", path)
+	return nil
+}
+
+// runAnalysis executes an analysis job standalone (local manager) or
+// distributed (-workers).
+func runAnalysis(spec campaign.Spec, workers string, shards int) (*campaign.Analysis, error) {
+	if workers == "" {
+		m := campaign.New(campaign.Config{})
+		job, err := m.Submit(spec)
+		if err != nil {
+			return nil, err
+		}
+		<-job.Done()
+		if err := job.Err(); err != nil {
+			return nil, err
+		}
+		an, ok := job.Analysis()
+		if !ok {
+			return nil, fmt.Errorf("job %s produced no analysis", job.ID())
+		}
+		return an, nil
+	}
+	return fleetAnalysis(spec, workers, shards)
+}
+
+// fleetAnalysis distributes the base campaign (and minimize verification
+// rounds) across fleet workers, then runs the same analysis the standalone
+// manager would on the merged outcomes — the resulting report is
+// byte-identical to a standalone run's.
+func fleetAnalysis(spec campaign.Spec, urls string, shards int) (*campaign.Analysis, error) {
+	spec = spec.Normalized()
+	coord := fleet.NewCoordinator(fleet.CoordinatorConfig{})
+	n := 0
+	for _, u := range strings.Split(urls, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			coord.Register(u)
+			n++
+		}
+	}
+	if n == 0 {
+		return nil, fmt.Errorf("no worker URLs in %q", urls)
+	}
+	// The wire spec is a plain campaign: workers only simulate; type and
+	// signature stay client-side, so shard caches are shared with ordinary
+	// distributed campaigns of the same spec.
+	base := spec
+	base.Type, base.Signature = "", nil
+	ctx := context.Background()
+	res, width, fs, err := coord.RunCampaign(ctx, base, shards)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "fleet campaign: %s bus, %d defects across %d workers (%d shards, %d retries)\n",
+		spec.Bus, res.Total, n, fs.Shards, fs.Retries)
+
+	setup, _, err := busSetup(spec.Bus)
+	if err != nil {
+		return nil, err
+	}
+	lib, err := defects.Generate(setup.Nominal, setup.Thresholds,
+		defects.Config{Size: spec.Size, Sigma: spec.Sigma, Seed: spec.Seed})
+	if err != nil {
+		return nil, err
+	}
+	fullPlan, err := campaign.SpecPlan(base)
+	if err != nil {
+		return nil, err
+	}
+	round := 0
+	return campaign.AnalyzeOutcomes(spec, res.Outcomes, width, lib, fullPlan,
+		func(minPlan *core.Plan) ([]sim.Outcome, error) {
+			// Each verification round ships the minimized plan inline, so
+			// every worker simulates exactly this plan rather than
+			// re-deriving one.
+			var buf bytes.Buffer
+			if err := core.WritePlan(&buf, minPlan); err != nil {
+				return nil, err
+			}
+			vspec := base
+			vspec.Plan = buf.Bytes()
+			round++
+			vres, _, vfs, err := coord.RunCampaign(ctx, vspec, shards)
+			if err != nil {
+				return nil, err
+			}
+			fmt.Fprintf(os.Stderr, "fleet verify round %d: %d shards, %d retries\n", round, vfs.Shards, vfs.Retries)
+			return vres.Outcomes, nil
+		})
+}

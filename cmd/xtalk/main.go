@@ -11,6 +11,9 @@
 //	              [-workers url1,url2,...] [-shards N] [-trace out.ndjson]
 //	xtalk fig11   [-size N] [-seed N] [-csv] [-engine auto|execute|replay]
 //	xtalk compare [-size N] [-seed N]
+//	xtalk diagnose [-bus addr|data] [-size N] [-seed N] [-signature "dr[3]/fwd,..."] [-o out.json] [-workers ...]
+//	xtalk minimize [-bus addr|data] [-size N] [-seed N] [-o out.json] [-workers ...]
+//	xtalk rank     [-bus addr|data] [-size N] [-seed N] [-o out.json] [-workers ...]
 package main
 
 import (
@@ -54,6 +57,12 @@ func main() {
 		err = cmdCompare(os.Args[2:])
 	case "margins":
 		err = cmdMargins(os.Args[2:])
+	case "diagnose":
+		err = cmdDiagnose(os.Args[2:])
+	case "minimize":
+		err = cmdMinimize(os.Args[2:])
+	case "rank":
+		err = cmdRank(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -77,7 +86,10 @@ commands:
   sim      run a full defect-simulation campaign (E5)
   fig11    regenerate the paper's Fig. 11 coverage chart (E4)
   compare  compare SBST against hardware BIST and external test (E6)
-  margins  per-wire worst-case crosstalk margins of a bus description`)
+  margins  per-wire worst-case crosstalk margins of a bus description
+  diagnose build the detection-set dictionary; localize a failure signature
+  minimize set-cover test-program minimization with coverage verification
+  rank     per-wire crosstalk vulnerability ranking (Fig. 11 analytics)`)
 }
 
 func setups() (sim.BusSetup, sim.BusSetup, error) {

@@ -8,6 +8,15 @@
 // defects the replay tier resolved versus fell back to execution, and
 // /metrics exposes the aggregate engine and channel-memo counters.
 //
+// Beyond plain campaigns, a spec's "type" field selects an analysis job
+// (see internal/diagnose): "diagnose" builds the fault dictionary and
+// localizes an optional failure "signature", "minimize" runs greedy
+// set-cover test-set minimization with an empirical verification campaign,
+// and "rank" produces the per-wire vulnerability ranking. Analysis jobs
+// reuse the campaign caches and checkpoints; their progress events carry a
+// "phase" (simulate, analyze, verify) and their result endpoint serves the
+// deterministic analysis document instead of the campaign report.
+//
 // The daemon plays one of three fleet roles (see internal/fleet):
 //
 //   - standalone (default): the single-node campaign API.

@@ -27,8 +27,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/crosstalk"
 	"repro/internal/defects"
+	"repro/internal/diagnose"
+	"repro/internal/maf"
 	"repro/internal/obs"
 	"repro/internal/parwan"
+	"repro/internal/report"
 	"repro/internal/sim"
 )
 
@@ -38,6 +41,16 @@ import (
 type Spec struct {
 	// Bus is the bus under test: "addr" or "data".
 	Bus string `json:"bus"`
+	// Type selects the job's product: "campaign" (the plain coverage
+	// campaign; the default), "diagnose" (detection-set dictionary with
+	// localization), "minimize" (greedy set-cover test minimization with a
+	// verification campaign), or "rank" (per-wire vulnerability ranking).
+	// All types run the same base simulation; the analysis phase differs.
+	Type string `json:"type,omitempty"`
+	// Signature, for diagnose jobs, lists observed failing MA test names
+	// (maf.ParseFault forms, e.g. "dr[3]/fwd") to localize against the
+	// dictionary.
+	Signature []string `json:"signature,omitempty"`
 	// Plan, when present, is an inline plan document (core.WritePlan form)
 	// to run instead of generating one.
 	Plan json.RawMessage `json:"plan,omitempty"`
@@ -65,6 +78,24 @@ type Spec struct {
 	Engine string `json:"engine,omitempty"`
 }
 
+// The job product types a Spec.Type can select.
+const (
+	TypeCampaign = "campaign"
+	TypeDiagnose = "diagnose"
+	TypeMinimize = "minimize"
+	TypeRank     = "rank"
+)
+
+// JobType resolves the spec's product type; empty selects TypeCampaign. The
+// Type field itself is left un-normalized so cache and shard keys derived
+// from older specs are unchanged.
+func (s Spec) JobType() string {
+	if s.Type == "" {
+		return TypeCampaign
+	}
+	return s.Type
+}
+
 // Normalized returns the spec with generation defaults applied, so cache
 // and shard keys do not distinguish "0" from "the default it selects".
 func (s Spec) Normalized() Spec { return s.normalized() }
@@ -74,6 +105,11 @@ func (s Spec) Validate() error { return s.validate() }
 
 // BusID resolves the spec's bus under test.
 func (s Spec) BusID() core.BusID { return s.busID() }
+
+// SpecPlan resolves the spec's self-test plan exactly as a serving node
+// would: the inline document when present, otherwise a plan generated from
+// the spec's generation config.
+func SpecPlan(spec Spec) (*core.Plan, error) { return planFor(spec.normalized()) }
 
 // SpecPlanHash resolves the spec's self-test plan (inline document or
 // generated from the spec's generation config) and returns its content hash
@@ -142,6 +178,20 @@ func (s Spec) validate() error {
 			return fmt.Errorf("campaign: inline plan: %w", err)
 		}
 	}
+	switch s.JobType() {
+	case TypeCampaign, TypeDiagnose, TypeMinimize, TypeRank:
+	default:
+		return fmt.Errorf("campaign: unknown job type %q (want campaign, diagnose, minimize or rank)", s.Type)
+	}
+	if len(s.Signature) > 0 && s.JobType() != TypeDiagnose {
+		return fmt.Errorf("campaign: signature is only meaningful for diagnose jobs, not %q", s.JobType())
+	}
+	if s.JobType() == TypeMinimize && len(s.Plan) > 0 {
+		// The minimized program is regenerated from the generation config
+		// with a fault filter; an inline plan has no config to regenerate
+		// from.
+		return errors.New("campaign: minimize jobs need a generation config, not an inline plan")
+	}
 	return nil
 }
 
@@ -179,14 +229,28 @@ func (s State) Terminal() bool { return s == Done || s == Failed || s == Cancele
 // Executed counts defects that needed full execution (a fallback under the
 // auto engine, every defect under the execute engine).
 type Progress struct {
-	State       State `json:"state"`
-	Done        int   `json:"done"`
-	Total       int   `json:"total"`
-	Detected    int   `json:"detected"`
-	Activations int64 `json:"activations"`
-	ReplayHits  int   `json:"replay_hits"`
-	Executed    int   `json:"executed"`
+	State State `json:"state"`
+	// Type is the job's product type (Spec.JobType); Phase is the stage
+	// within the job: "simulate" while the base campaign runs, "analyze"
+	// while detection sets are processed, and "verify" while a minimize
+	// job's verification campaign re-simulates the minimized program. The
+	// defect counters below always describe the simulate phase.
+	Type        string `json:"type,omitempty"`
+	Phase       string `json:"phase,omitempty"`
+	Done        int    `json:"done"`
+	Total       int    `json:"total"`
+	Detected    int    `json:"detected"`
+	Activations int64  `json:"activations"`
+	ReplayHits  int    `json:"replay_hits"`
+	Executed    int    `json:"executed"`
 }
+
+// Job phases reported in Progress.Phase.
+const (
+	PhaseSimulate = "simulate"
+	PhaseAnalyze  = "analyze"
+	PhaseVerify   = "verify"
+)
 
 // Status is a point-in-time snapshot of a job, JSON-ready.
 type Status struct {
@@ -213,6 +277,7 @@ type Job struct {
 	outcomes     []sim.Outcome // checkpoint, by library index
 	completed    []bool
 	result       *sim.CampaignResult
+	analysis     *Analysis
 	err          error
 	width        int // bus width, for Fig. 11 rendering
 	goldenCached bool
@@ -263,6 +328,33 @@ func (j *Job) Result() (*sim.CampaignResult, int, bool) {
 		return nil, 0, false
 	}
 	return j.result, j.width, true
+}
+
+// Analysis is the product of a terminal diagnose, minimize or rank job;
+// exactly one field is set, matching the job type. Campaign jobs have none.
+type Analysis struct {
+	Diagnosis *report.DiagnosisJSON
+	Minimize  *report.MinimizeJSON
+	Rank      *report.RankJSON
+}
+
+// Analysis returns the job's analysis product once done; ok is false for
+// plain campaign jobs and non-terminal states.
+func (j *Job) Analysis() (*Analysis, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Done || j.analysis == nil {
+		return nil, false
+	}
+	return j.analysis, true
+}
+
+// setPhase moves the job to a new phase and publishes the transition.
+func (j *Job) setPhase(phase string) {
+	j.mu.Lock()
+	j.progress.Phase = phase
+	j.publishLocked()
+	j.mu.Unlock()
 }
 
 // Err returns the job's failure, if any.
@@ -769,17 +861,24 @@ func (m *Manager) run(ctx context.Context, job *Job, enqueued time.Time) {
 	job.mu.Lock()
 	job.state = Running
 	job.started = time.Now()
+	job.progress.Type = job.spec.JobType()
+	job.progress.Phase = PhaseSimulate
 	job.publishLocked()
 	job.mu.Unlock()
 	m.obs.Record("job.state", obs.Label{Key: "job", Value: job.id}, obs.Label{Key: "state", Value: string(Running)})
 
-	res, err := m.execute(ctx, job)
+	res, env, err := m.execute(ctx, job)
+	var analysis *Analysis
+	if err == nil && job.spec.JobType() != TypeCampaign {
+		analysis, err = m.analyze(ctx, job, res, env)
+	}
 
 	job.mu.Lock()
 	switch {
 	case err == nil:
 		job.state = Done
 		job.result = res
+		job.analysis = analysis
 		m.jobsCompleted.Inc()
 	case errors.Is(err, context.Canceled) || ctx.Err() != nil:
 		job.state = Canceled
@@ -800,32 +899,42 @@ func (m *Manager) run(ctx context.Context, job *Job, enqueued time.Time) {
 	span.End()
 }
 
+// execEnv carries the cached artifacts execute resolved, so the analysis
+// phase of diagnose/minimize/rank jobs reuses them instead of re-deriving.
+type execEnv struct {
+	plan       *core.Plan
+	addr, data sim.BusSetup
+	setup      sim.BusSetup // the bus under test
+	lib        *defects.Library
+	workers    int
+}
+
 // execute performs the cached setup steps and the campaign proper.
-func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, error) {
+func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, *execEnv, error) {
 	spec := job.spec
 	_, setupSpan := obs.StartSpan(ctx, "job.setup")
 	addr, data, err := setups(spec.CthFactor)
 	if err != nil {
 		setupSpan.End()
-		return nil, err
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		setupSpan.End()
-		return nil, err
+		return nil, nil, err
 	}
 	plan, err := planFor(spec)
 	if err != nil {
 		setupSpan.End()
-		return nil, err
+		return nil, nil, err
 	}
 	runner, goldenHit, err := m.runnerFor(plan, addr, data, addr.Thresholds.Cth)
 	if err != nil {
 		setupSpan.End()
-		return nil, err
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
 		setupSpan.End()
-		return nil, err
+		return nil, nil, err
 	}
 	setup := addr
 	if spec.busID() == core.DataBus {
@@ -836,10 +945,10 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, e
 	setupSpan.SetAttr("library_cached", fmt.Sprint(libHit))
 	setupSpan.End()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if err := ctx.Err(); err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 
 	job.mu.Lock()
@@ -854,7 +963,7 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, e
 	}
 	// Rebuild progress from the checkpoint so a resumed job reports
 	// monotone counts continuing where it stopped.
-	p := Progress{Total: len(lib.Defects)}
+	p := Progress{Total: len(lib.Defects), Type: spec.JobType(), Phase: PhaseSimulate}
 	for i, done := range job.completed {
 		if !done {
 			continue
@@ -928,6 +1037,132 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, e
 		obs.Label{Key: "defects", Value: fmt.Sprint(len(lib.Defects))})
 	res, err := runner.CampaignCtx(cctx, spec.busID(), lib, opts)
 	campSpan.End()
+	if err != nil {
+		return nil, nil, err
+	}
+	env := &execEnv{plan: plan, addr: addr, data: data, setup: setup, lib: lib, workers: workers}
+	return res, env, nil
+}
+
+// analyze runs a non-campaign job's analysis phase over the base campaign's
+// outcomes. For minimize jobs it additionally regenerates the minimized
+// program and runs the verification campaign (not checkpointed: a resumed
+// minimize job replays the base campaign from its checkpoint and repeats
+// verification from scratch).
+func (m *Manager) analyze(ctx context.Context, job *Job, res *sim.CampaignResult, env *execEnv) (*Analysis, error) {
+	spec := job.spec
+	job.setPhase(PhaseAnalyze)
+	ctx, span := obs.StartSpan(ctx, "job.analyze",
+		obs.Label{Key: "type", Value: spec.JobType()})
+	defer span.End()
+	verifying := false
+	return AnalyzeOutcomes(spec, res.Outcomes, env.setup.Nominal.Width, env.lib, env.plan,
+		func(minPlan *core.Plan) ([]sim.Outcome, error) {
+			if !verifying {
+				verifying = true
+				job.setPhase(PhaseVerify)
+			}
+			vres, err := m.verifyCampaign(ctx, spec, minPlan, env)
+			if err != nil {
+				return nil, err
+			}
+			return vres.Outcomes, nil
+		})
+}
+
+// AnalyzeOutcomes builds a diagnose, minimize or rank job's analysis product
+// from a completed base campaign: outcomes in library order, the bus width,
+// the defect library, and the full plan the campaign ran. simulateMin
+// re-simulates the same library under a minimized plan and returns outcomes
+// in the same order; it is only called for minimize jobs (the verify-augment
+// loop, one call per round). The manager's analysis phase and the CLI's
+// fleet path share this function, so a distributed run's report is
+// byte-identical to a standalone one's.
+func AnalyzeOutcomes(spec Spec, outcomes []sim.Outcome, width int, lib *defects.Library, fullPlan *core.Plan,
+	simulateMin func(minPlan *core.Plan) ([]sim.Outcome, error)) (*Analysis, error) {
+	sets := diagnose.Collect(outcomes)
+	switch spec.JobType() {
+	case TypeDiagnose:
+		acc, err := sets.EvaluateAccuracy(lib)
+		if err != nil {
+			return nil, err
+		}
+		var cands []diagnose.Candidate
+		if len(spec.Signature) > 0 {
+			cands, err = sets.LocalizeNames(spec.Signature)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return &Analysis{Diagnosis: report.NewDiagnosisJSON(spec.Bus, sets, &acc, spec.Signature, cands)}, nil
+
+	case TypeRank:
+		return &Analysis{Rank: report.NewRankJSON(spec.Bus, width, diagnose.RankWires(sets, width, lib))}, nil
+
+	case TypeMinimize:
+		cover := diagnose.GreedyCover(sets)
+		// Verify empirically and repair: detections recorded from the full
+		// program can be context-dependent (incidental transitions,
+		// collateral corruption), so the loop re-simulates the minimized
+		// program and augments the test set until the per-defect detection
+		// vector is byte-identical to the full campaign's.
+		var minPlan *core.Plan
+		rep, err := diagnose.RepairCover(sets, cover, outcomes, 0,
+			func(filter func(maf.Fault) bool) ([]sim.Outcome, error) {
+				p, err := minimizedPlan(spec, filter)
+				if err != nil {
+					return nil, err
+				}
+				minPlan = p
+				return simulateMin(p)
+			})
+		if err != nil {
+			return nil, err
+		}
+		mj := report.NewMinimizeJSON(spec.Bus, cover, &rep.Verification)
+		for _, f := range rep.Added {
+			mj.Augmented = append(mj.Augmented, f.String())
+		}
+		mj.VerifyRounds = rep.Rounds
+		mj.FullProgramTests = fullPlan.TotalApplied()
+		mj.MinProgramTests = minPlan.TotalApplied()
+		return &Analysis{Minimize: mj}, nil
+	}
+	return nil, fmt.Errorf("campaign: no analysis for job type %q", spec.JobType())
+}
+
+// minimizedPlan regenerates the spec's self-test plan restricted to the
+// tests the filter accepts.
+func minimizedPlan(spec Spec, filter func(maf.Fault) bool) (*core.Plan, error) {
+	return core.Generate(core.GenConfig{
+		Compaction:  spec.Compaction,
+		MaxSessions: spec.MaxSessions,
+		SkipDataBus: spec.TargetOnly && spec.Bus == "addr",
+		SkipAddrBus: spec.TargetOnly && spec.Bus == "data",
+		Filter:      filter,
+	})
+}
+
+// verifyCampaign re-simulates the spec's defect library under a minimized
+// plan, sharing the manager's runner cache, worker pool and engine choice
+// with the base campaign.
+func (m *Manager) verifyCampaign(ctx context.Context, spec Spec, minPlan *core.Plan, env *execEnv) (*sim.CampaignResult, error) {
+	runner, _, err := m.runnerFor(minPlan, env.addr, env.data, env.addr.Thresholds.Cth)
+	if err != nil {
+		return nil, err
+	}
+	opts := sim.CampaignOpts{
+		Workers: env.workers,
+		Slots:   m.slots,
+		Engine:  spec.engine(),
+	}
+	if m.obs.Enabled() {
+		opts.Observe = m.observeTier(spec.engine())
+	}
+	vctx, span := obs.StartSpan(ctx, "job.verify",
+		obs.Label{Key: "defects", Value: fmt.Sprint(len(env.lib.Defects))})
+	res, err := runner.CampaignCtx(vctx, spec.busID(), env.lib, opts)
+	span.End()
 	return res, err
 }
 

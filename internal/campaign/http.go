@@ -175,6 +175,20 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
+	// Non-campaign job types render their analysis product; the base
+	// campaign result stays reachable through a plain campaign job with the
+	// same spec (same caches, no extra simulation).
+	if an, ok := job.Analysis(); ok {
+		switch {
+		case an.Diagnosis != nil:
+			report.WriteDiagnosisJSON(w, an.Diagnosis)
+		case an.Minimize != nil:
+			report.WriteMinimizeJSON(w, an.Minimize)
+		case an.Rank != nil:
+			report.WriteRankJSON(w, an.Rank)
+		}
+		return
+	}
 	report.WriteCampaignJSON(w, res, width)
 }
 

@@ -168,6 +168,110 @@ func TestEndToEndDiagnosis(t *testing.T) {
 	t.Logf("diagnosed %d/3 victims from surviving signatures (others crashed, which a tester also observes)", diagnosed)
 }
 
+// TestOneHotSignatureGlitchAliasing characterizes the compaction caveat
+// quantified by the A4 ablation: the zero-bit decoding is exact only while
+// every contribution stays one-hot. A glitch latched during the group's
+// execution adds a second bit to a contribution, the sum carries, and the
+// decoded lines alias. The arithmetic cases below are the two canonical
+// failure shapes.
+func TestOneHotSignatureGlitchAliasing(t *testing.T) {
+	// Shape 1 — false suspects: all eight tests pass one-hot, but one
+	// response also carries a glitched bit 0. The sum overflows 0xFF and
+	// wraps to 0x00, indicting all eight lines when none is delayed.
+	var sig uint8
+	for k := 0; k < parwan.DataBits; k++ {
+		sig += 1 << uint(k)
+	}
+	sig += 1 << 0 // glitch corrupts one response with an extra LSB
+	if lines := core.DiagnoseOneHotSignature(sig); len(lines) != parwan.DataBits {
+		t.Errorf("overflowed signature %02x diagnosed %v, expected a full-bus alias", sig, lines)
+	}
+
+	// Shape 2 — masking: line 3's contribution is lost to a rising delay,
+	// but a glitch in another test adds a spurious 2^3. The sum lands back
+	// on 0xFF and the defect escapes diagnosis entirely.
+	sig = 0
+	for k := 0; k < parwan.DataBits; k++ {
+		if k != 3 {
+			sig += 1 << uint(k)
+		}
+	}
+	sig += 1 << 3 // spurious glitch contribution restores the missing bit
+	if lines := core.DiagnoseOneHotSignature(sig); lines != nil {
+		t.Errorf("masked signature %02x diagnosed %v, expected a clean alias", sig, lines)
+	}
+}
+
+// TestFig8AliasingAtBusLevel drives the aliasing physically. With a severe
+// defect (couplings at 3x Cth) the corruption is no longer confined to the
+// tested line: during the victim's own one-hot test the strongly-coupled
+// neighbours' falls are delayed too and latch stale 1s, so the contribution
+// carries extra bits. The summed signature then decodes to a suspect set
+// that indicts lines whose tests passed and exonerates a line whose test
+// failed — the compaction caveat the uncompacted program avoids.
+func TestFig8AliasingAtBusLevel(t *testing.T) {
+	const victim = 4
+	nom := crosstalk.Nominal(parwan.DataBits)
+	th, err := crosstalk.DeriveThresholds(nom, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := nom.Clone()
+	scale := 3.0 * th.Cth / p.NetCoupling(victim)
+	for j := 0; j < p.Width; j++ {
+		if j != victim {
+			p.Cc[victim][j] *= scale
+			p.Cc[j][victim] *= scale
+		}
+	}
+	ch, err := crosstalk.NewChannel(p, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var signature uint8
+	lost := map[int]bool{} // tests whose own one-hot contribution was lost
+	multiBit := 0          // responses corrupted beyond one-hot (the carry source)
+	for k := 0; k < parwan.DataBits; k++ {
+		v1, v2 := maf.Vectors(maf.RisingDelay, k, parwan.DataBits)
+		recv, _ := ch.Transmit(v1, v2, maf.Forward)
+		got := uint8(recv.Uint64())
+		if got&(1<<uint(k)) == 0 {
+			lost[k] = true
+		}
+		if got != 0 && got != 1<<uint(k) {
+			multiBit++
+		}
+		signature += got
+	}
+	if len(lost) == 0 {
+		t.Fatal("no test failed; the channel is not defective enough to characterize")
+	}
+	if multiBit == 0 {
+		t.Fatal("every response stayed one-hot; no carry source, characterization is stale")
+	}
+	suspects := map[int]bool{}
+	for _, l := range core.DiagnoseOneHotSignature(signature) {
+		suspects[l] = true
+	}
+	falselyIndicted, exonerated := 0, 0
+	for l := range suspects {
+		if !lost[l] {
+			falselyIndicted++
+		}
+	}
+	for l := range lost {
+		if !suspects[l] {
+			exonerated++
+		}
+	}
+	if falselyIndicted == 0 && exonerated == 0 {
+		t.Errorf("signature %02x decoded the failed set %v exactly despite %d corrupted responses; aliasing characterization is stale",
+			signature, lost, multiBit)
+	}
+	t.Logf("victim %d: failed tests %v, %d multi-bit responses, signature %02x -> suspects %v (%d falsely indicted, %d exonerated)",
+		victim, lost, multiBit, signature, suspects, falselyIndicted, exonerated)
+}
+
 // TestOneHotGroupCellErrors: a non-compacted program has no shared cell.
 func TestOneHotGroupCellErrors(t *testing.T) {
 	plain, err := core.Generate(core.GenConfig{SkipAddrBus: true})

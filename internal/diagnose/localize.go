@@ -1,0 +1,220 @@
+package diagnose
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/defects"
+	"repro/internal/maf"
+)
+
+// Candidate is one ranked fault-localization hypothesis: "the defect causes
+// MAF effect Kind on victim wire Wire". Score is the similarity-weighted
+// vote mass the hypothesis collected from the dictionary, normalized so all
+// candidates of one diagnosis sum to 1; Exact counts library defects whose
+// detection set equals the observed signature exactly and whose behaviour
+// includes this hypothesis.
+type Candidate struct {
+	Wire  int
+	Kind  maf.Kind
+	Score float64
+	Exact int
+}
+
+// String renders the candidate as the paper would name it, e.g. "gp[4]".
+func (c Candidate) String() string { return fmt.Sprintf("%s[%d]", c.Kind, c.Wire) }
+
+// ResolveSignature maps observed failing-test names (maf.ParseFault forms,
+// width-qualified or not) to fault indices of the dictionary. A pattern
+// without a width matches every width it occurs at. It fails when an entry
+// matches no dictionary fault — such a test never detected any library
+// defect, so the dictionary carries no evidence for it.
+func (s *Sets) ResolveSignature(names []string) ([]int, error) {
+	var idx []int
+	seen := make(map[int]bool)
+	for _, name := range names {
+		pat, err := maf.ParseFault(name)
+		if err != nil {
+			return nil, err
+		}
+		matched := false
+		for i, f := range s.Faults {
+			if pat.Matches(f) {
+				matched = true
+				if !seen[i] {
+					seen[i] = true
+					idx = append(idx, i)
+				}
+			}
+		}
+		if !matched {
+			return nil, fmt.Errorf("diagnose: signature test %q detects no library defect (not in dictionary)", name)
+		}
+	}
+	sort.Ints(idx)
+	return idx, nil
+}
+
+// jaccard computes |a ∩ b| / |a ∪ b| for two ascending int slices.
+func jaccard(a, b []int) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 0
+	}
+	inter := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			inter++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// equalInts reports whether two ascending int slices are identical.
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Localize maps an observed failure signature — the ascending dictionary
+// fault indices of the MA tests that failed — to ranked (wire, error-effect)
+// candidates.
+//
+// The dictionary is the evidence: every library defect votes for the
+// hypotheses its own behaviour exhibits (the victim/kind pairs of the faults
+// in its detection set), weighted by the Jaccard similarity between its
+// detection set and the observed signature. A defect that fails exactly the
+// observed tests votes with weight 1; one sharing half its tests votes with
+// proportionally less. Scores are normalized to sum to 1 and candidates are
+// ordered by score descending, then wire, then kind — a deterministic
+// ranking for byte-stable reports.
+//
+// This generalizes core.DiagnoseOneHotSignature: for the compacted one-hot
+// group, a signature's missing bits are rising-delay failures on exactly
+// those lines, and the dictionary vote reproduces that mapping; for full
+// campaign signatures it degrades gracefully to a ranking when compaction
+// aliasing or fault masking makes the inverse ambiguous.
+func (s *Sets) Localize(sig []int) []Candidate {
+	type key struct {
+		wire int
+		kind maf.Kind
+	}
+	scores := make(map[key]float64)
+	exact := make(map[key]int)
+	for _, row := range s.ByDefect {
+		if len(row) == 0 {
+			continue
+		}
+		w := jaccard(sig, row)
+		if w == 0 {
+			continue
+		}
+		same := equalInts(sig, row)
+		hyp := make(map[key]bool)
+		for _, fi := range row {
+			f := s.Faults[fi]
+			hyp[key{f.Victim, f.Kind}] = true
+		}
+		for k := range hyp {
+			scores[k] += w
+			if same {
+				exact[k]++
+			}
+		}
+	}
+	// Normalize after the deterministic sort so the float accumulation
+	// order is fixed and the scores are byte-stable in reports.
+	out := make([]Candidate, 0, len(scores))
+	for k, sc := range scores {
+		out = append(out, Candidate{Wire: k.wire, Kind: k.kind, Score: sc, Exact: exact[k]})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Score != b.Score {
+			return a.Score > b.Score
+		}
+		if a.Wire != b.Wire {
+			return a.Wire < b.Wire
+		}
+		return a.Kind < b.Kind
+	})
+	var total float64
+	for _, c := range out {
+		total += c.Score
+	}
+	if total > 0 {
+		for i := range out {
+			out[i].Score /= total
+		}
+	}
+	return out
+}
+
+// LocalizeNames is Localize over failing-test names (see ResolveSignature).
+func (s *Sets) LocalizeNames(names []string) ([]Candidate, error) {
+	sig, err := s.ResolveSignature(names)
+	if err != nil {
+		return nil, err
+	}
+	return s.Localize(sig), nil
+}
+
+// Accuracy measures how well dictionary localization recovers the true
+// victim wires of the library's own defects: every attributed defect's
+// detection set is diagnosed as if it were an observed signature, and the
+// top-ranked candidate wire is checked against the defect's over-threshold
+// wires (the ground truth the library generator recorded).
+type Accuracy struct {
+	Evaluated int // attributed defects diagnosed
+	TopHit    int // top candidate wire is a true over-threshold wire
+	Top3Hit   int // some top-3 candidate wire is a true over-threshold wire
+}
+
+// EvaluateAccuracy runs the self-diagnosis experiment against the library
+// the outcomes were simulated from. Defects are evaluated in library order,
+// so the result is deterministic.
+func (s *Sets) EvaluateAccuracy(lib *defects.Library) (Accuracy, error) {
+	if len(lib.Defects) != s.Total {
+		return Accuracy{}, fmt.Errorf("diagnose: library has %d defects, dictionary %d", len(lib.Defects), s.Total)
+	}
+	var acc Accuracy
+	for d, row := range s.ByDefect {
+		if len(row) == 0 {
+			continue
+		}
+		acc.Evaluated++
+		truth := make(map[int]bool, len(lib.Defects[d].OverThreshold))
+		for _, w := range lib.Defects[d].OverThreshold {
+			truth[w] = true
+		}
+		cands := s.Localize(row)
+		for i, c := range cands {
+			if i >= 3 {
+				break
+			}
+			if truth[c.Wire] {
+				if i == 0 {
+					acc.TopHit++
+				}
+				acc.Top3Hit++
+				break
+			}
+		}
+	}
+	return acc, nil
+}

@@ -1,0 +1,81 @@
+package diagnose
+
+import (
+	"sort"
+
+	"repro/internal/defects"
+)
+
+// WireRank is one wire's row in the vulnerability ranking: how much of the
+// library's detection evidence the wire's victim tests account for.
+type WireRank struct {
+	Wire int `json:"wire"`
+	// Detected is the number of defects detected by at least one MA test
+	// whose victim is this wire; Unique counts the defects only this wire's
+	// tests detect.
+	Detected int `json:"detected"`
+	Unique   int `json:"unique"`
+	// OverThreshold is ground truth from the defect library: defects whose
+	// injected coupling caps push this wire over the detection threshold.
+	// Zero when no library is supplied.
+	OverThreshold int `json:"over_threshold"`
+	// Share is Detected over the number of attributed defects.
+	Share float64 `json:"share"`
+}
+
+// RankWires ranks a bus's wires by crosstalk vulnerability, reproducing the
+// paper's Fig. 11 observation that centre wires dominate detection while the
+// side wires (0 and width-1), with only one neighbour each, trail far behind.
+//
+// Only dictionary faults with Width == width contribute, so on a combined
+// data+address plan the ranking of one bus is not polluted by same-victim
+// faults of the other. lib may be nil; when given and sized to the
+// dictionary, ground-truth over-threshold counts are included. The result is
+// ordered by Detected descending, then wire ascending.
+func RankWires(s *Sets, width int, lib *defects.Library) []WireRank {
+	ranks := make([]WireRank, width)
+	for w := range ranks {
+		ranks[w].Wire = w
+	}
+	attributed := 0
+	for _, row := range s.ByDefect {
+		if len(row) == 0 {
+			continue
+		}
+		attributed++
+		wires := make(map[int]bool)
+		for _, fi := range row {
+			f := s.Faults[fi]
+			if f.Width == width && f.Victim >= 0 && f.Victim < width {
+				wires[f.Victim] = true
+			}
+		}
+		for w := range wires {
+			ranks[w].Detected++
+			if len(wires) == 1 {
+				ranks[w].Unique++
+			}
+		}
+	}
+	if attributed > 0 {
+		for w := range ranks {
+			ranks[w].Share = float64(ranks[w].Detected) / float64(attributed)
+		}
+	}
+	if lib != nil && len(lib.Defects) == s.Total {
+		for _, d := range lib.Defects {
+			for _, w := range d.OverThreshold {
+				if w >= 0 && w < width {
+					ranks[w].OverThreshold++
+				}
+			}
+		}
+	}
+	sort.Slice(ranks, func(i, j int) bool {
+		if ranks[i].Detected != ranks[j].Detected {
+			return ranks[i].Detected > ranks[j].Detected
+		}
+		return ranks[i].Wire < ranks[j].Wire
+	})
+	return ranks
+}

@@ -1,0 +1,102 @@
+package diagnose
+
+import (
+	"repro/internal/maf"
+	"repro/internal/sim"
+)
+
+// Repair is the result of the minimize-verify-augment loop around a greedy
+// cover. The greedy cover is provably sufficient against the dictionary, but
+// the dictionary records detections from the FULL program, and some of them
+// are context-dependent: a defect can be detected through incidental bus
+// transitions (instruction fetches between tests) or collateral corruption
+// of another test's response cell, effects that a re-laid-out minimized
+// program does not reproduce. RepairCover closes that gap empirically:
+// simulate the minimized program, and for every defect whose detected flag
+// differs from the full program's, add its entire detection set to the
+// chosen tests, then re-simulate — until the per-defect detection vector is
+// byte-identical or no further tests can help.
+type Repair struct {
+	// Tests is the final minimized test set (cover plus additions), in
+	// canonical maf.Compare order.
+	Tests []maf.Fault
+	// Added lists the tests the repair rounds added beyond the greedy
+	// cover, in addition order (deterministic: mismatches ascending, each
+	// defect's detection set in ascending fault-index order).
+	Added []maf.Fault
+	// Rounds is the number of verification campaigns run (≥ 1).
+	Rounds int
+	// Verification is the last round's comparison against the full
+	// program; Identical reports whether the loop converged.
+	Verification Verification
+	// Outcomes is the last round's per-defect outcomes.
+	Outcomes []sim.Outcome
+}
+
+// Filter returns the generation filter of the final test set.
+func (r *Repair) Filter() func(maf.Fault) bool {
+	set := make(map[maf.Fault]bool, len(r.Tests))
+	for _, f := range r.Tests {
+		set[f] = true
+	}
+	return func(f maf.Fault) bool { return set[f] }
+}
+
+// RepairCover runs the verify-augment loop. full is the full program's
+// outcomes in library order (the outcomes sets was collected from); simulate
+// re-runs the library under a program restricted to the tests the filter
+// accepts, returning outcomes in the same order. maxRounds bounds the number
+// of simulate calls (≤ 0 selects 5); the loop also stops early when a round
+// converges or when the mismatched defects have no unchosen tests left to
+// add (crash-only defects, or defects the minimized program detects that the
+// full one does not).
+func RepairCover(s *Sets, cover *Cover, full []sim.Outcome,
+	maxRounds int, simulate func(filter func(maf.Fault) bool) ([]sim.Outcome, error)) (*Repair, error) {
+	if maxRounds <= 0 {
+		maxRounds = 5
+	}
+	chosen := make(map[maf.Fault]bool, len(cover.Chosen))
+	for _, f := range cover.Chosen {
+		chosen[f] = true
+	}
+	r := &Repair{}
+	for {
+		r.Rounds++
+		out, err := simulate(func(f maf.Fault) bool { return chosen[f] })
+		if err != nil {
+			return nil, err
+		}
+		v, err := Verify(full, out)
+		if err != nil {
+			return nil, err
+		}
+		r.Verification = v
+		r.Outcomes = out
+		if v.Identical || r.Rounds >= maxRounds {
+			break
+		}
+		progress := false
+		for _, d := range v.Mismatches {
+			if d >= len(s.ByDefect) {
+				continue
+			}
+			for _, fi := range s.ByDefect[d] {
+				f := s.Faults[fi]
+				if !chosen[f] {
+					chosen[f] = true
+					r.Added = append(r.Added, f)
+					progress = true
+				}
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+	r.Tests = make([]maf.Fault, 0, len(chosen))
+	for f := range chosen {
+		r.Tests = append(r.Tests, f)
+	}
+	maf.SortFaults(r.Tests)
+	return r, nil
+}

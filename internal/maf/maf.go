@@ -15,6 +15,9 @@ package maf
 
 import (
 	"fmt"
+	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/logic"
 )
@@ -90,6 +93,101 @@ type Fault struct {
 // String returns a stable identifier such as "gp[4]/fwd".
 func (f Fault) String() string {
 	return fmt.Sprintf("%s[%d]/%s", f.Kind, f.Victim, f.Dir)
+}
+
+// Compare orders two faults canonically: by victim wire, then kind (Fig. 1
+// order), then direction, then bus width. The width tie-break matters when
+// faults of several busses mix in one collection (e.g. dr[1]/fwd exists at
+// widths 8 and 12 in a combined plan); without it the order would not be
+// total. It returns -1, 0, or +1.
+func Compare(a, b Fault) int {
+	switch {
+	case a.Victim != b.Victim:
+		if a.Victim < b.Victim {
+			return -1
+		}
+		return 1
+	case a.Kind != b.Kind:
+		if a.Kind < b.Kind {
+			return -1
+		}
+		return 1
+	case a.Dir != b.Dir:
+		if a.Dir < b.Dir {
+			return -1
+		}
+		return 1
+	case a.Width != b.Width:
+		if a.Width < b.Width {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// SortFaults sorts faults in place into Compare order — the canonical
+// byte-stable order used by campaign reports and detection-set analytics.
+func SortFaults(faults []Fault) {
+	sort.Slice(faults, func(i, j int) bool { return Compare(faults[i], faults[j]) < 0 })
+}
+
+// ParseFault parses the String form "gp[4]/fwd", optionally width-qualified
+// as "gp[4]/fwd@12". An unqualified name parses with Width 0, meaning "any
+// width" — Matches treats it as a wildcard, which is how an operator names a
+// failing test without knowing which bus's universe it belongs to.
+func ParseFault(s string) (Fault, error) {
+	var f Fault
+	name := s
+	if at := strings.LastIndexByte(name, '@'); at >= 0 {
+		w, err := strconv.Atoi(name[at+1:])
+		if err != nil || w <= 0 {
+			return Fault{}, fmt.Errorf("maf: bad width in fault %q", s)
+		}
+		f.Width = w
+		name = name[:at]
+	}
+	open := strings.IndexByte(name, '[')
+	end := strings.IndexByte(name, ']')
+	if open < 0 || end < open || !strings.HasPrefix(name[end:], "]/") {
+		return Fault{}, fmt.Errorf("maf: bad fault %q (want kind[victim]/dir, e.g. gp[4]/fwd)", s)
+	}
+	switch name[:open] {
+	case "gp":
+		f.Kind = PositiveGlitch
+	case "gn":
+		f.Kind = NegativeGlitch
+	case "dr":
+		f.Kind = RisingDelay
+	case "df":
+		f.Kind = FallingDelay
+	default:
+		return Fault{}, fmt.Errorf("maf: unknown fault kind %q in %q", name[:open], s)
+	}
+	v, err := strconv.Atoi(name[open+1 : end])
+	if err != nil || v < 0 {
+		return Fault{}, fmt.Errorf("maf: bad victim in fault %q", s)
+	}
+	f.Victim = v
+	switch name[end+2:] {
+	case "fwd":
+		f.Dir = Forward
+	case "rev":
+		f.Dir = Reverse
+	default:
+		return Fault{}, fmt.Errorf("maf: unknown direction %q in %q", name[end+2:], s)
+	}
+	if f.Width > 0 && f.Victim >= f.Width {
+		return Fault{}, fmt.Errorf("maf: victim %d out of range for width %d in %q", f.Victim, f.Width, s)
+	}
+	return f, nil
+}
+
+// Matches reports whether fault g matches pattern f, where a zero Width in
+// the pattern matches any width (see ParseFault).
+func (f Fault) Matches(g Fault) bool {
+	return f.Victim == g.Victim && f.Kind == g.Kind && f.Dir == g.Dir &&
+		(f.Width == 0 || f.Width == g.Width)
 }
 
 // Test is the MA test for a fault: the two-vector sequence that excites it.

@@ -268,3 +268,96 @@ func TestFaultString(t *testing.T) {
 		t.Errorf("Test.String() = %q", got)
 	}
 }
+
+func TestCompareTotalOrder(t *testing.T) {
+	faults := []Fault{
+		{Victim: 0, Kind: PositiveGlitch, Dir: Forward, Width: 8},
+		{Victim: 0, Kind: PositiveGlitch, Dir: Forward, Width: 12},
+		{Victim: 0, Kind: PositiveGlitch, Dir: Reverse, Width: 8},
+		{Victim: 0, Kind: FallingDelay, Dir: Forward, Width: 8},
+		{Victim: 3, Kind: PositiveGlitch, Dir: Forward, Width: 8},
+	}
+	for i, a := range faults {
+		if Compare(a, a) != 0 {
+			t.Errorf("Compare(%v, %v) != 0", a, a)
+		}
+		for j, b := range faults {
+			got, rev := Compare(a, b), Compare(b, a)
+			if got != -rev {
+				t.Errorf("Compare(%v, %v) = %d but reversed %d", a, b, got, rev)
+			}
+			if i != j && got == 0 {
+				t.Errorf("distinct faults %v and %v compare equal", a, b)
+			}
+		}
+	}
+	// Victim dominates kind, kind dominates direction, direction dominates
+	// width — the canonical report order.
+	if Compare(faults[4], faults[3]) <= 0 {
+		t.Error("victim does not dominate kind")
+	}
+	if Compare(faults[3], faults[2]) <= 0 {
+		t.Error("kind order broken")
+	}
+	if Compare(faults[2], faults[1]) <= 0 {
+		t.Error("direction does not dominate width")
+	}
+	if Compare(faults[1], faults[0]) <= 0 {
+		t.Error("width tie-break broken")
+	}
+}
+
+func TestSortFaultsCanonical(t *testing.T) {
+	shuffled := []Fault{
+		{Victim: 3, Kind: PositiveGlitch, Dir: Forward, Width: 8},
+		{Victim: 1, Kind: RisingDelay, Dir: Forward, Width: 12},
+		{Victim: 1, Kind: RisingDelay, Dir: Forward, Width: 8},
+		{Victim: 1, Kind: PositiveGlitch, Dir: Forward, Width: 8},
+	}
+	SortFaults(shuffled)
+	for i := 1; i < len(shuffled); i++ {
+		if Compare(shuffled[i-1], shuffled[i]) >= 0 {
+			t.Fatalf("not sorted at %d: %v", i, shuffled)
+		}
+	}
+	// The mixed-width pair dr[1]/fwd@8 and @12 stays adjacent, narrower first.
+	if shuffled[1].Width != 8 || shuffled[2].Width != 12 {
+		t.Errorf("width tie-break lost in sort: %v", shuffled)
+	}
+}
+
+func TestParseFaultRoundTrip(t *testing.T) {
+	for _, f := range Universe(8, true) {
+		got, err := ParseFault(f.String())
+		if err != nil {
+			t.Fatalf("ParseFault(%q): %v", f.String(), err)
+		}
+		// Unqualified names parse width-wildcarded and still match the original.
+		if got.Width != 0 || !got.Matches(f) {
+			t.Errorf("ParseFault(%q) = %+v, does not wildcard-match %+v", f.String(), got, f)
+		}
+	}
+	q, err := ParseFault("dr[11]/rev@12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Fault{Victim: 11, Kind: RisingDelay, Dir: Reverse, Width: 12}
+	if q != want {
+		t.Errorf("qualified parse %+v, want %+v", q, want)
+	}
+	if q.Matches(Fault{Victim: 11, Kind: RisingDelay, Dir: Reverse, Width: 8}) {
+		t.Error("width-qualified pattern matched the wrong bus")
+	}
+}
+
+func TestParseFaultErrors(t *testing.T) {
+	for _, s := range []string{
+		"", "gp", "gp[4]", "gp[4]/", "gp[4]/up", "zz[4]/fwd",
+		"gp[x]/fwd", "gp[-1]/fwd", "gp[4]/fwd@", "gp[4]/fwd@0",
+		"gp[4]/fwd@x", "gp[12]/fwd@8",
+	} {
+		if f, err := ParseFault(s); err == nil {
+			t.Errorf("ParseFault(%q) accepted as %+v", s, f)
+		}
+	}
+}

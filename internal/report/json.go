@@ -1,10 +1,8 @@
 package report
 
 import (
-	"io"
-	"sort"
-
 	"encoding/json"
+	"io"
 
 	"repro/internal/maf"
 	"repro/internal/sim"
@@ -56,23 +54,11 @@ func sortedFaultCounts(m map[maf.Fault]int) []FaultCountJSON {
 	for f := range m {
 		faults = append(faults, f)
 	}
-	sort.Slice(faults, func(i, j int) bool {
-		a, b := faults[i], faults[j]
-		if a.Victim != b.Victim {
-			return a.Victim < b.Victim
-		}
-		if a.Kind != b.Kind {
-			return a.Kind < b.Kind
-		}
-		if a.Dir != b.Dir {
-			return a.Dir < b.Dir
-		}
-		// A combined plan can attribute one defect to same-named faults of
-		// both busses (e.g. dr[1]/fwd at widths 8 and 12); without this
-		// tie-break the order falls to map iteration and the JSON is not
-		// byte-stable.
-		return a.Width < b.Width
-	})
+	// maf.Compare carries the width tie-break: a combined plan can attribute
+	// one defect to same-named faults of both busses (e.g. dr[1]/fwd at
+	// widths 8 and 12); without it the order would fall to map iteration and
+	// the JSON would not be byte-stable.
+	maf.SortFaults(faults)
 	out := make([]FaultCountJSON, 0, len(faults))
 	for _, f := range faults {
 		out = append(out, FaultCountJSON{Fault: f.String(), Count: m[f]})

@@ -417,6 +417,7 @@ func (r *Runner) runDefectAuto(bus core.BusID, defCh *crosstalk.Channel) (Outcom
 		out.Replayed = true
 		r.replayHits.Add(1)
 	}
+	out.normalize()
 	return out, nil
 }
 

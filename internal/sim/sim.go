@@ -180,7 +180,10 @@ type Outcome struct {
 	Crashed bool
 	// DetectedBy lists the faults whose tests' response cells mismatched,
 	// attributing detection (shared compaction cells attribute to every
-	// test of the group).
+	// test of the group). The list is deduplicated and sorted into the
+	// canonical maf.Compare order, so detection sets — and everything
+	// derived from them: report JSON, diagnosis dictionaries, set-cover
+	// minimization — are byte-stable across engines and shard merges.
 	DetectedBy []maf.Fault
 	// Activations counts crosstalk error events across all session runs —
 	// how many times the defect fired while the programs executed.
@@ -191,6 +194,23 @@ type Outcome struct {
 	// deliberately excluded from campaign reports so engines stay
 	// byte-identical.
 	Replayed bool `json:"-"`
+}
+
+// normalize puts DetectedBy into the canonical byte-stable form: sorted by
+// maf.Compare and deduplicated. judge already never attributes a fault twice
+// (the seen map), so the dedup pass is a cheap invariant guard for outcomes
+// assembled elsewhere (e.g. decoded from a fleet shard response).
+func (o *Outcome) normalize() {
+	maf.SortFaults(o.DetectedBy)
+	w := 0
+	for i, f := range o.DetectedBy {
+		if i > 0 && f == o.DetectedBy[w-1] {
+			continue
+		}
+		o.DetectedBy[w] = f
+		w++
+	}
+	o.DetectedBy = o.DetectedBy[:w]
 }
 
 // RunDefect simulates one defective parameter set on the given bus (the
@@ -219,6 +239,7 @@ func (r *Runner) runDefectExecute(bus core.BusID, defective *crosstalk.Params) (
 		}
 		r.judge(&out, i, prog, res, seen)
 	}
+	out.normalize()
 	return out, nil
 }
 

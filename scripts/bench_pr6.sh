@@ -1,0 +1,53 @@
+#!/bin/sh
+# bench_pr6.sh records the payoff of set-cover test-set minimization (the
+# diagnose subsystem's "minimize" job): BenchmarkE5_MinimizedProgram runs the
+# E5 address-bus campaign under the full program and under the verified
+# minimized program (greedy cover plus verify-augment repair, detection
+# vectors byte-identical), interleaved pair by pair so machine drift cancels
+# out of the speedup. The fastest split of the repeated runs is written to
+# BENCH_PR6.json together with the program shrinkage (applied tests and
+# golden CPU cycles).
+#
+# Usage: scripts/bench_pr6.sh [output.json]
+set -eu
+
+out=${1:-BENCH_PR6.json}
+cd "$(dirname "$0")/.."
+
+raw=$(go test -run '^$' -bench 'E5_MinimizedProgram' -benchtime 2x -count 3 .)
+echo "$raw" >&2
+
+echo "$raw" | awk -v out="$out" '
+$1 ~ /^BenchmarkE5_MinimizedProgram/ {
+    # Custom metrics print as "<value> <unit>" pairs; keep each side of the
+    # fastest run (numeric compare — the values can be in exponent form),
+    # and the test/cycle counts, which are identical across runs.
+    for (i = 2; i < NF; i++) {
+        if ($(i + 1) == "full-ns/op" && (!fullns || $i + 0 < fullns + 0)) fullns = $i
+        if ($(i + 1) == "min-ns/op"  && (!minns  || $i + 0 < minns  + 0)) minns  = $i
+        if ($(i + 1) == "full-tests")  fulltests  = $i
+        if ($(i + 1) == "min-tests")   mintests   = $i
+        if ($(i + 1) == "full-cycles") fullcycles = $i
+        if ($(i + 1) == "min-cycles")  mincycles  = $i
+    }
+}
+END {
+    if (!fullns || !minns || !fulltests || !mintests) {
+        print "missing BenchmarkE5_MinimizedProgram metrics" > "/dev/stderr"
+        exit 1
+    }
+    printf "{\n" > out
+    printf "  \"bench\": {\n" >> out
+    printf "    \"BenchmarkE5_MinimizedProgram\": {\"full_ns_per_op\": %.0f, \"min_ns_per_op\": %.0f}\n", \
+        fullns, minns >> out
+    printf "  },\n" >> out
+    printf "  \"full_program_tests\": %.0f,\n", fulltests >> out
+    printf "  \"min_program_tests\": %.0f,\n", mintests >> out
+    printf "  \"full_program_cycles\": %.0f,\n", fullcycles >> out
+    printf "  \"min_program_cycles\": %.0f,\n", mincycles >> out
+    printf "  \"test_reduction_pct\": %.2f,\n", (1 - mintests / fulltests) * 100 >> out
+    printf "  \"campaign_speedup\": %.2f\n", fullns / minns >> out
+    printf "}\n" >> out
+}
+'
+echo "wrote $out" >&2
