@@ -1,0 +1,99 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/fleet"
+	"repro/internal/report"
+)
+
+// startTestWorkers spins up n in-process fleet workers and returns their
+// URLs joined as the -workers flag value.
+func startTestWorkers(t *testing.T, n int) string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		ts := httptest.NewServer(fleet.NewWorker(campaign.New(campaign.Config{})))
+		t.Cleanup(ts.Close)
+		urls[i] = ts.URL
+	}
+	return strings.Join(urls, ",")
+}
+
+// TestFleetMinimizeMatchesStandaloneWideBus is the CLI-level acceptance for
+// the wide-bus backend: `xtalk minimize -target widebus16 -workers ...`
+// (fleetAnalysis) must render the same minimize report bytes as the
+// standalone manager path, verification rounds included.
+func TestFleetMinimizeMatchesStandaloneWideBus(t *testing.T) {
+	spec := campaign.Spec{
+		Target: "widebus16",
+		Bus:    "bus",
+		Type:   campaign.TypeMinimize,
+		Size:   60,
+		Seed:   13,
+	}
+	standalone, err := runAnalysis(spec, "", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	distributed, err := runAnalysis(spec, startTestWorkers(t, 2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want, got bytes.Buffer
+	if err := report.WriteMinimizeJSON(&want, standalone.Minimize); err != nil {
+		t.Fatal(err)
+	}
+	if err := report.WriteMinimizeJSON(&got, distributed.Minimize); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Fatalf("fleet minimize report differs from standalone (%d vs %d bytes)", got.Len(), want.Len())
+	}
+	if v := standalone.Minimize.Verification; v == nil || !v.Identical {
+		t.Fatalf("minimized wide-bus program did not verify byte-identical: %+v", v)
+	}
+	t.Logf("widebus16 minimize: %d -> %d tests, fleet report byte-identical (%d bytes)",
+		standalone.Minimize.FullTests, len(standalone.Minimize.Chosen), got.Len())
+}
+
+// TestCmdSimWideBusSmoke pins the -target flag end to end: the default
+// channel resolves to the wide bus's only channel and the campaign reaches
+// full coverage.
+func TestCmdSimWideBusSmoke(t *testing.T) {
+	out, err := capture(t, func() error {
+		return cmdSim([]string{"-target", "widebus16", "-size", "20", "-seed", "7"})
+	})
+	if err != nil {
+		t.Fatalf("sim failed: %v", err)
+	}
+	for _, want := range []string{
+		"campaign: widebus16 bus bus, 20 defects",
+		"coverage: 20/20 = 100.00%",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("sim output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCmdSimBadTarget: an unknown target descriptor fails with a parse
+// error rather than silently defaulting to parwan.
+func TestCmdSimBadTarget(t *testing.T) {
+	_, err := capture(t, func() error {
+		return cmdSim([]string{"-target", "i8051", "-size", "5"})
+	})
+	if err == nil {
+		t.Fatal("sim accepted an unknown target")
+	}
+	_, err = capture(t, func() error {
+		return cmdSim([]string{"-target", "widebus16", "-bus", "addr", "-size", "5"})
+	})
+	if err == nil {
+		t.Fatal("sim accepted a channel the target does not have")
+	}
+}

@@ -26,6 +26,7 @@ import (
 
 // analysisFlags are the flags shared by the three analysis subcommands.
 type analysisFlags struct {
+	target     *string
 	bus        *string
 	size       *int
 	seed       *int64
@@ -38,7 +39,8 @@ type analysisFlags struct {
 
 func newAnalysisFlags(fs *flag.FlagSet) *analysisFlags {
 	return &analysisFlags{
-		bus:        fs.String("bus", "addr", "bus to test: addr or data"),
+		target:     fs.String("target", "", "target backend: parwan (default) or widebusN"),
+		bus:        fs.String("bus", "", "channel to test (default: addr for parwan, the target's first channel otherwise)"),
 		size:       fs.Int("size", defects.DefaultLibrarySize, "defect library size"),
 		seed:       fs.Int64("seed", 1, "random seed"),
 		compaction: fs.Bool("compaction", false, "compact responses"),
@@ -49,15 +51,20 @@ func newAnalysisFlags(fs *flag.FlagSet) *analysisFlags {
 	}
 }
 
-func (af *analysisFlags) spec(jobType string) campaign.Spec {
+func (af *analysisFlags) spec(jobType string) (campaign.Spec, error) {
+	_, _, _, busName, err := resolveTarget(*af.target, *af.bus)
+	if err != nil {
+		return campaign.Spec{}, err
+	}
 	return campaign.Spec{
-		Bus:        *af.bus,
+		Target:     *af.target,
+		Bus:        busName,
 		Type:       jobType,
 		Size:       *af.size,
 		Seed:       *af.seed,
 		Compaction: *af.compaction,
 		Engine:     *af.engine,
-	}
+	}, nil
 }
 
 func cmdDiagnose(args []string) error {
@@ -68,7 +75,10 @@ func cmdDiagnose(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	spec := af.spec(campaign.TypeDiagnose)
+	spec, err := af.spec(campaign.TypeDiagnose)
+	if err != nil {
+		return err
+	}
 	for _, s := range strings.Split(*signature, ",") {
 		if s = strings.TrimSpace(s); s != "" {
 			spec.Signature = append(spec.Signature, s)
@@ -100,7 +110,11 @@ func cmdMinimize(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	an, err := runAnalysis(af.spec(campaign.TypeMinimize), *af.workers, *af.shards)
+	spec, err := af.spec(campaign.TypeMinimize)
+	if err != nil {
+		return err
+	}
+	an, err := runAnalysis(spec, *af.workers, *af.shards)
 	if err != nil {
 		return err
 	}
@@ -125,7 +139,11 @@ func cmdRank(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	an, err := runAnalysis(af.spec(campaign.TypeRank), *af.workers, *af.shards)
+	spec, err := af.spec(campaign.TypeRank)
+	if err != nil {
+		return err
+	}
+	an, err := runAnalysis(spec, *af.workers, *af.shards)
 	if err != nil {
 		return err
 	}
@@ -213,10 +231,11 @@ func fleetAnalysis(spec campaign.Spec, urls string, shards int) (*campaign.Analy
 	fmt.Fprintf(os.Stderr, "fleet campaign: %s bus, %d defects across %d workers (%d shards, %d retries)\n",
 		spec.Bus, res.Total, n, fs.Shards, fs.Retries)
 
-	setup, _, err := busSetup(spec.Bus)
+	_, models, busID, _, err := resolveTarget(spec.Target, spec.Bus)
 	if err != nil {
 		return nil, err
 	}
+	setup := models[busID]
 	lib, err := defects.Generate(setup.Nominal, setup.Thresholds,
 		defects.Config{Size: spec.Size, Sigma: spec.Sigma, Seed: spec.Seed})
 	if err != nil {

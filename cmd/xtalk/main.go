@@ -6,14 +6,20 @@
 //
 //	xtalk gen     [-compaction] [-sessions N] [-listing]
 //	xtalk params  [-width N] [-cth F] [-o file]
-//	xtalk defects [-bus addr|data] [-size N] [-sigma S] [-seed N]
-//	xtalk sim     [-bus addr|data] [-size N] [-seed N] [-compaction] [-engine auto|execute|replay]
+//	xtalk defects [-target T] [-bus name] [-size N] [-sigma S] [-seed N]
+//	xtalk sim     [-target T] [-bus name] [-size N] [-seed N] [-compaction] [-engine auto|execute|replay]
 //	              [-workers url1,url2,...] [-shards N] [-trace out.ndjson]
 //	xtalk fig11   [-size N] [-seed N] [-csv] [-engine auto|execute|replay]
 //	xtalk compare [-size N] [-seed N]
-//	xtalk diagnose [-bus addr|data] [-size N] [-seed N] [-signature "dr[3]/fwd,..."] [-o out.json] [-workers ...]
-//	xtalk minimize [-bus addr|data] [-size N] [-seed N] [-o out.json] [-workers ...]
-//	xtalk rank     [-bus addr|data] [-size N] [-seed N] [-o out.json] [-workers ...]
+//	xtalk diagnose [-target T] [-bus name] [-size N] [-seed N] [-signature "dr[3]/fwd,..."] [-o out.json] [-workers ...]
+//	xtalk minimize [-target T] [-bus name] [-size N] [-seed N] [-o out.json] [-workers ...]
+//	xtalk rank     [-target T] [-bus name] [-size N] [-seed N] [-o out.json] [-workers ...]
+//
+// The -target flag selects the backend under test: "parwan" (the paper's
+// CPU-memory system; the default) or "widebusN" (a synthetic N-wire scripted
+// bus, e.g. widebus32). The -bus flag names one of the target's channels
+// ("addr" or "data" for parwan, "bus" for wide-bus targets); empty selects
+// the address bus for parwan and the first channel otherwise.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"repro/internal/parwan"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/target"
 	"repro/internal/tester"
 )
 
@@ -94,6 +101,33 @@ commands:
 
 func setups() (sim.BusSetup, sim.BusSetup, error) {
 	return sim.DefaultSetups()
+}
+
+// resolveTarget parses a target descriptor and a channel name into the
+// backend, its per-channel models, and the selected channel. An empty bus
+// selects "addr" on parwan (the paper's default experiment) and the target's
+// first channel otherwise.
+func resolveTarget(targetName, bus string) (target.Target, []sim.BusSetup, core.BusID, string, error) {
+	tgt, err := target.Parse(targetName)
+	if err != nil {
+		return nil, nil, 0, "", err
+	}
+	topo := tgt.Topology()
+	if bus == "" {
+		bus = topo.Channels[0].Name
+		if tgt.Name() == "parwan" {
+			bus = "addr"
+		}
+	}
+	id, ok := topo.Channel(bus)
+	if !ok {
+		return nil, nil, 0, "", fmt.Errorf("target %s has no bus %q (want one of %v)", tgt.Name(), bus, topo.Names())
+	}
+	models, err := tgt.BusModels(0)
+	if err != nil {
+		return nil, nil, 0, "", err
+	}
+	return tgt, models, id, bus, nil
 }
 
 func cmdGen(args []string) error {
@@ -194,24 +228,26 @@ func busSetup(bus string) (sim.BusSetup, bool, error) {
 
 func cmdDefects(args []string) error {
 	fs := flag.NewFlagSet("defects", flag.ExitOnError)
-	bus := fs.String("bus", "addr", "bus to perturb: addr or data")
+	targetName := fs.String("target", "", "target backend: parwan (default) or widebusN")
+	bus := fs.String("bus", "", "channel to perturb (default: addr for parwan, the target's first channel otherwise)")
 	size := fs.Int("size", defects.DefaultLibrarySize, "number of defects")
 	sigma := fs.Float64("sigma", defects.DefaultSigma, "capacitance variation sigma")
 	seed := fs.Int64("seed", 1, "random seed")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	setup, _, err := busSetup(*bus)
+	_, models, busID, busName, err := resolveTarget(*targetName, *bus)
 	if err != nil {
 		return err
 	}
+	setup := models[busID]
 	lib, err := defects.Generate(setup.Nominal, setup.Thresholds,
 		defects.Config{Size: *size, Sigma: *sigma, Seed: *seed})
 	if err != nil {
 		return err
 	}
 	fmt.Printf("%d defects on the %s bus (sigma=%.2f, acceptance %.3g)\n",
-		len(lib.Defects), *bus, lib.Sigma, lib.AcceptanceRate())
+		len(lib.Defects), busName, lib.Sigma, lib.AcceptanceRate())
 	tbl := report.NewTable("Over-threshold victims per wire", "wire", "defects")
 	for w, n := range lib.VictimHistogram() {
 		tbl.AddRow(w+1, n)
@@ -221,7 +257,8 @@ func cmdDefects(args []string) error {
 
 func cmdSim(args []string) error {
 	fs := flag.NewFlagSet("sim", flag.ExitOnError)
-	bus := fs.String("bus", "addr", "bus to test: addr or data")
+	targetName := fs.String("target", "", "target backend: parwan (default) or widebusN")
+	bus := fs.String("bus", "", "channel to test (default: addr for parwan, the target's first channel otherwise)")
 	size := fs.Int("size", defects.DefaultLibrarySize, "defect library size")
 	seed := fs.Int64("seed", 1, "random seed")
 	compaction := fs.Bool("compaction", false, "compact responses")
@@ -237,26 +274,24 @@ func cmdSim(args []string) error {
 	if err != nil {
 		return err
 	}
+	tgt, models, busID, busName, err := resolveTarget(*targetName, *bus)
+	if err != nil {
+		return err
+	}
 	if *workers != "" {
 		if *planFile != "" {
 			return fmt.Errorf("-plan is not supported with -workers (fleet nodes generate the plan from the spec)")
 		}
 		return simFleet(*workers, *shards, *traceOut, campaign.Spec{
-			Bus:        *bus,
+			Target:     *targetName,
+			Bus:        busName,
 			Size:       *size,
 			Seed:       *seed,
 			Compaction: *compaction,
 			Engine:     *engine,
 		})
 	}
-	setup, isData, err := busSetup(*bus)
-	if err != nil {
-		return err
-	}
-	busID := core.AddrBus
-	if isData {
-		busID = core.DataBus
-	}
+	setup := models[busID]
 	ctx := context.Background()
 	var tracer *obs.Tracer
 	if *traceOut != "" {
@@ -264,24 +299,20 @@ func cmdSim(args []string) error {
 		ctx = obs.WithTracer(ctx, tracer, "sim")
 	}
 	ctx, root := obs.StartSpan(ctx, "sim.run",
-		obs.Label{Key: "bus", Value: *bus}, obs.Label{Key: "engine", Value: *engine})
+		obs.Label{Key: "bus", Value: busName}, obs.Label{Key: "engine", Value: *engine})
 	_, planSpan := obs.StartSpan(ctx, "sim.plan")
 	var plan *core.Plan
 	if *planFile != "" {
 		plan, err = core.LoadPlan(*planFile)
 	} else {
-		plan, err = core.Generate(core.GenConfig{Compaction: *compaction})
+		plan, err = tgt.Generate(target.GenSpec{Compaction: *compaction})
 	}
 	planSpan.End()
 	if err != nil {
 		return err
 	}
-	addr, data, err := setups()
-	if err != nil {
-		return err
-	}
 	_, goldenSpan := obs.StartSpan(ctx, "sim.golden")
-	r, err := sim.NewRunner(plan, addr, data)
+	r, err := sim.NewTargetRunner(tgt, plan, models)
 	goldenSpan.End()
 	if err != nil {
 		return err
@@ -304,7 +335,7 @@ func cmdSim(args []string) error {
 		}
 		fmt.Printf("trace written to %s (%d spans)\n", *traceOut, len(tracer.Trace("sim")))
 	}
-	fmt.Printf("campaign: %s bus, %d defects\n", *bus, res.Total)
+	fmt.Printf("campaign: %s %s bus, %d defects\n", tgt.Name(), busName, res.Total)
 	fmt.Printf("coverage: %d/%d = %.2f%% (paper: 100%%)\n", res.Detected, res.Total, res.Coverage()*100)
 	fmt.Printf("crashed/hung runs counted as detections: %d\n", res.Crashed)
 	fmt.Printf("golden execution time: %d CPU cycles across %d sessions (paper: 1720)\n",

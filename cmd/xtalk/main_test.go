@@ -95,7 +95,7 @@ func TestCmdSimSmoke(t *testing.T) {
 		t.Fatalf("sim failed: %v", err)
 	}
 	for _, want := range []string{
-		"campaign: addr bus, 20 defects",
+		"campaign: parwan addr bus, 20 defects",
 		"coverage:",
 		"golden execution time:",
 	} {

@@ -30,16 +30,21 @@ import (
 	"repro/internal/diagnose"
 	"repro/internal/maf"
 	"repro/internal/obs"
-	"repro/internal/parwan"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/target"
 )
 
 // Spec describes one campaign job: which bus to attack, how to obtain the
 // self-test plan (an inline plan document or a generation config), and the
 // defect library to simulate.
 type Spec struct {
-	// Bus is the bus under test: "addr" or "data".
+	// Target names the backend under test ("parwan", "widebus32", ...);
+	// empty selects the default Parwan system. Left un-normalized so cache
+	// and shard keys derived from older specs are unchanged.
+	Target string `json:"target,omitempty"`
+	// Bus is the channel under test, by the target's channel name ("addr" or
+	// "data" for Parwan, "bus" for wide-bus targets).
 	Bus string `json:"bus"`
 	// Type selects the job's product: "campaign" (the plain coverage
 	// campaign; the default), "diagnose" (detection-set dictionary with
@@ -96,6 +101,24 @@ func (s Spec) JobType() string {
 	return s.Type
 }
 
+// TargetName resolves the spec's backend name; empty selects "parwan". The
+// Target field itself is left un-normalized for key stability.
+func (s Spec) TargetName() string {
+	if s.Target == "" {
+		return "parwan"
+	}
+	return s.Target
+}
+
+// backend resolves the spec's target backend.
+func (s Spec) backend() (target.Target, error) {
+	tgt, err := target.Parse(s.Target)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return tgt, nil
+}
+
 // Normalized returns the spec with generation defaults applied, so cache
 // and shard keys do not distinguish "0" from "the default it selects".
 func (s Spec) Normalized() Spec { return s.normalized() }
@@ -126,14 +149,11 @@ func SpecPlanHash(spec Spec) (string, error) {
 // for the bus under test, another component of the campaign identity.
 func SpecCth(spec Spec) (float64, error) {
 	spec = spec.normalized()
-	addr, data, err := setups(spec.CthFactor)
+	models, err := modelsFor(spec)
 	if err != nil {
 		return 0, err
 	}
-	if spec.busID() == core.DataBus {
-		return data.Thresholds.Cth, nil
-	}
-	return addr.Thresholds.Cth, nil
+	return models[spec.busID()].Thresholds.Cth, nil
 }
 
 // normalized returns the spec with generation defaults applied, so cache
@@ -155,8 +175,14 @@ func (s Spec) normalized() Spec {
 }
 
 func (s Spec) validate() error {
-	if s.Bus != "addr" && s.Bus != "data" {
-		return fmt.Errorf("campaign: unknown bus %q (want addr or data)", s.Bus)
+	tgt, err := s.backend()
+	if err != nil {
+		return err
+	}
+	topo := tgt.Topology()
+	if _, ok := topo.Channel(s.Bus); !ok {
+		return fmt.Errorf("campaign: target %s has no bus %q (want one of %v)",
+			tgt.Name(), s.Bus, topo.Names())
 	}
 	if s.Size < 0 {
 		return fmt.Errorf("campaign: negative library size %d", s.Size)
@@ -202,6 +228,11 @@ func (s Spec) engine() sim.Engine {
 }
 
 func (s Spec) busID() core.BusID {
+	if tgt, err := target.Parse(s.Target); err == nil {
+		if id, ok := tgt.Topology().Channel(s.Bus); ok {
+			return id
+		}
+	}
 	if s.Bus == "data" {
 		return core.DataBus
 	}
@@ -451,11 +482,12 @@ type Config struct {
 }
 
 type libKey struct {
-	bus   string
-	size  int
-	sigma float64
-	seed  int64
-	cth   float64
+	target string
+	bus    string
+	size   int
+	sigma  float64
+	seed   int64
+	cth    float64
 }
 
 // Manager owns the job table, the shared worker pool and the caches.
@@ -528,6 +560,8 @@ func New(cfg Config) *Manager {
 		m.engineStat(func(s sim.EngineStats) int64 { return s.MemoHits }))
 	reg.CounterFunc("xtalkd_channel_memo_misses_total", "channel-transmit memo misses",
 		m.engineStat(func(s sim.EngineStats) int64 { return s.MemoMisses }))
+	reg.CounterFunc("xtalkd_channel_memo_unsupported_total", "defective channels too wide for the transmit memo (ran memo-off)",
+		m.engineStat(func(s sim.EngineStats) int64 { return s.MemoUnsupported }))
 	m.simLatency = map[string]*obs.Histogram{
 		"replay": reg.Histogram("xtalkd_sim_defect_seconds", "per-defect simulation latency by engine tier",
 			nil, obs.Label{Key: "tier", Value: "replay"}),
@@ -593,6 +627,7 @@ func (m *Manager) Metrics() Metrics {
 		eng.Screened += s.Screened
 		eng.MemoHits += s.MemoHits
 		eng.MemoMisses += s.MemoMisses
+		eng.MemoUnsupported += s.MemoUnsupported
 	}
 	m.mu.Unlock()
 	return Metrics{
@@ -747,19 +782,14 @@ func (m *Manager) Drain(ctx context.Context) error {
 	}
 }
 
-// setups derives the nominal bus setups for a Cth factor.
-func setups(cthFactor float64) (addr, data sim.BusSetup, err error) {
-	an := crosstalk.Nominal(parwan.AddrBits)
-	at, err := crosstalk.DeriveThresholds(an, cthFactor)
+// modelsFor derives the spec's per-channel nominal bus models, indexed by
+// channel ID.
+func modelsFor(spec Spec) ([]sim.BusSetup, error) {
+	tgt, err := spec.backend()
 	if err != nil {
-		return sim.BusSetup{}, sim.BusSetup{}, err
+		return nil, err
 	}
-	dn := crosstalk.Nominal(parwan.DataBits)
-	dt, err := crosstalk.DeriveThresholds(dn, cthFactor)
-	if err != nil {
-		return sim.BusSetup{}, sim.BusSetup{}, err
-	}
-	return sim.BusSetup{Nominal: an, Thresholds: at}, sim.BusSetup{Nominal: dn, Thresholds: dt}, nil
+	return tgt.BusModels(spec.CthFactor)
 }
 
 // planFor obtains the job's plan: inline document or generated from config.
@@ -767,11 +797,18 @@ func planFor(spec Spec) (*core.Plan, error) {
 	if len(spec.Plan) > 0 {
 		return core.ReadPlan(bytes.NewReader(spec.Plan))
 	}
-	return core.Generate(core.GenConfig{
+	tgt, err := spec.backend()
+	if err != nil {
+		return nil, err
+	}
+	only := ""
+	if spec.TargetOnly {
+		only = spec.Bus
+	}
+	return tgt.Generate(target.GenSpec{
 		Compaction:  spec.Compaction,
 		MaxSessions: spec.MaxSessions,
-		SkipDataBus: spec.TargetOnly && spec.Bus == "addr",
-		SkipAddrBus: spec.TargetOnly && spec.Bus == "data",
+		OnlyChannel: only,
 	})
 }
 
@@ -786,15 +823,15 @@ func PlanHash(p *core.Plan) (string, error) {
 	return hex.EncodeToString(sum[:]), nil
 }
 
-// runnerFor returns a cached golden runner for (plan hash, cth), building
-// and caching one on miss. Runners are read-only after construction, so one
-// instance safely serves concurrent jobs.
-func (m *Manager) runnerFor(plan *core.Plan, addr, data sim.BusSetup, cth float64) (*sim.Runner, bool, error) {
+// runnerFor returns a cached golden runner for (target, plan hash, cth),
+// building and caching one on miss. Runners are read-only after
+// construction, so one instance safely serves concurrent jobs.
+func (m *Manager) runnerFor(tgt target.Target, plan *core.Plan, models []sim.BusSetup, cth float64) (*sim.Runner, bool, error) {
 	hash, err := PlanHash(plan)
 	if err != nil {
 		return nil, false, err
 	}
-	key := fmt.Sprintf("%s|cth=%g", hash, cth)
+	key := fmt.Sprintf("%s|%s|cth=%g", tgt.Name(), hash, cth)
 	m.mu.Lock()
 	r, ok := m.runners[key]
 	m.mu.Unlock()
@@ -803,7 +840,7 @@ func (m *Manager) runnerFor(plan *core.Plan, addr, data sim.BusSetup, cth float6
 		return r, true, nil
 	}
 	m.goldenMisses.Add(1)
-	r, err = sim.NewRunner(plan, addr, data)
+	r, err = sim.NewTargetRunner(tgt, plan, models)
 	if err != nil {
 		return nil, false, err
 	}
@@ -820,7 +857,8 @@ func (m *Manager) runnerFor(plan *core.Plan, addr, data sim.BusSetup, cth float6
 // libraryFor returns a cached defect library for the spec, generating and
 // caching one on miss. Libraries are read-only during campaigns.
 func (m *Manager) libraryFor(spec Spec, setup sim.BusSetup) (*defects.Library, bool, error) {
-	key := libKey{bus: spec.Bus, size: spec.Size, sigma: spec.Sigma, seed: spec.Seed, cth: setup.Thresholds.Cth}
+	key := libKey{target: spec.TargetName(), bus: spec.Bus, size: spec.Size,
+		sigma: spec.Sigma, seed: spec.Seed, cth: setup.Thresholds.Cth}
 	m.mu.Lock()
 	lib, ok := m.libs[key]
 	m.mu.Unlock()
@@ -902,18 +940,24 @@ func (m *Manager) run(ctx context.Context, job *Job, enqueued time.Time) {
 // execEnv carries the cached artifacts execute resolved, so the analysis
 // phase of diagnose/minimize/rank jobs reuses them instead of re-deriving.
 type execEnv struct {
-	plan       *core.Plan
-	addr, data sim.BusSetup
-	setup      sim.BusSetup // the bus under test
-	lib        *defects.Library
-	workers    int
+	tgt     target.Target
+	plan    *core.Plan
+	models  []sim.BusSetup // per channel ID
+	setup   sim.BusSetup   // the bus under test
+	lib     *defects.Library
+	workers int
 }
 
 // execute performs the cached setup steps and the campaign proper.
 func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, *execEnv, error) {
 	spec := job.spec
 	_, setupSpan := obs.StartSpan(ctx, "job.setup")
-	addr, data, err := setups(spec.CthFactor)
+	tgt, err := spec.backend()
+	if err != nil {
+		setupSpan.End()
+		return nil, nil, err
+	}
+	models, err := tgt.BusModels(spec.CthFactor)
 	if err != nil {
 		setupSpan.End()
 		return nil, nil, err
@@ -927,7 +971,7 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, *
 		setupSpan.End()
 		return nil, nil, err
 	}
-	runner, goldenHit, err := m.runnerFor(plan, addr, data, addr.Thresholds.Cth)
+	runner, goldenHit, err := m.runnerFor(tgt, plan, models, spec.CthFactor)
 	if err != nil {
 		setupSpan.End()
 		return nil, nil, err
@@ -936,10 +980,7 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, *
 		setupSpan.End()
 		return nil, nil, err
 	}
-	setup := addr
-	if spec.busID() == core.DataBus {
-		setup = data
-	}
+	setup := models[spec.busID()]
 	lib, libHit, err := m.libraryFor(spec, setup)
 	setupSpan.SetAttr("golden_cached", fmt.Sprint(goldenHit))
 	setupSpan.SetAttr("library_cached", fmt.Sprint(libHit))
@@ -1040,7 +1081,7 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, *
 	if err != nil {
 		return nil, nil, err
 	}
-	env := &execEnv{plan: plan, addr: addr, data: data, setup: setup, lib: lib, workers: workers}
+	env := &execEnv{tgt: tgt, plan: plan, models: models, setup: setup, lib: lib, workers: workers}
 	return res, env, nil
 }
 
@@ -1134,11 +1175,18 @@ func AnalyzeOutcomes(spec Spec, outcomes []sim.Outcome, width int, lib *defects.
 // minimizedPlan regenerates the spec's self-test plan restricted to the
 // tests the filter accepts.
 func minimizedPlan(spec Spec, filter func(maf.Fault) bool) (*core.Plan, error) {
-	return core.Generate(core.GenConfig{
+	tgt, err := spec.backend()
+	if err != nil {
+		return nil, err
+	}
+	only := ""
+	if spec.TargetOnly {
+		only = spec.Bus
+	}
+	return tgt.Generate(target.GenSpec{
 		Compaction:  spec.Compaction,
 		MaxSessions: spec.MaxSessions,
-		SkipDataBus: spec.TargetOnly && spec.Bus == "addr",
-		SkipAddrBus: spec.TargetOnly && spec.Bus == "data",
+		OnlyChannel: only,
 		Filter:      filter,
 	})
 }
@@ -1147,7 +1195,7 @@ func minimizedPlan(spec Spec, filter func(maf.Fault) bool) (*core.Plan, error) {
 // plan, sharing the manager's runner cache, worker pool and engine choice
 // with the base campaign.
 func (m *Manager) verifyCampaign(ctx context.Context, spec Spec, minPlan *core.Plan, env *execEnv) (*sim.CampaignResult, error) {
-	runner, _, err := m.runnerFor(minPlan, env.addr, env.data, env.addr.Thresholds.Cth)
+	runner, _, err := m.runnerFor(env.tgt, minPlan, env.models, spec.CthFactor)
 	if err != nil {
 		return nil, err
 	}
@@ -1204,7 +1252,11 @@ func (m *Manager) RunShard(ctx context.Context, spec Spec, start, end int) ([]si
 	m.mu.Unlock()
 	defer m.wg.Done()
 
-	addr, data, err := setups(spec.CthFactor)
+	tgt, err := spec.backend()
+	if err != nil {
+		return nil, sim.EngineStats{}, err
+	}
+	models, err := tgt.BusModels(spec.CthFactor)
 	if err != nil {
 		return nil, sim.EngineStats{}, err
 	}
@@ -1212,15 +1264,11 @@ func (m *Manager) RunShard(ctx context.Context, spec Spec, start, end int) ([]si
 	if err != nil {
 		return nil, sim.EngineStats{}, err
 	}
-	runner, _, err := m.runnerFor(plan, addr, data, addr.Thresholds.Cth)
+	runner, _, err := m.runnerFor(tgt, plan, models, spec.CthFactor)
 	if err != nil {
 		return nil, sim.EngineStats{}, err
 	}
-	setup := addr
-	if spec.busID() == core.DataBus {
-		setup = data
-	}
-	lib, _, err := m.libraryFor(spec, setup)
+	lib, _, err := m.libraryFor(spec, models[spec.busID()])
 	if err != nil {
 		return nil, sim.EngineStats{}, err
 	}

@@ -31,7 +31,7 @@ func waitDone(t *testing.T, job *Job) {
 func directResult(t *testing.T, spec Spec) (*sim.CampaignResult, int) {
 	t.Helper()
 	spec = spec.normalized()
-	addr, data, err := setups(spec.CthFactor)
+	models, err := modelsFor(spec)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,14 +39,15 @@ func directResult(t *testing.T, spec Spec) (*sim.CampaignResult, int) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := sim.NewRunner(plan, addr, data)
+	tgt, err := spec.backend()
 	if err != nil {
 		t.Fatal(err)
 	}
-	setup := addr
-	if spec.busID() == core.DataBus {
-		setup = data
+	r, err := sim.NewTargetRunner(tgt, plan, models)
+	if err != nil {
+		t.Fatal(err)
 	}
+	setup := models[spec.busID()]
 	lib, err := defects.Generate(setup.Nominal, setup.Thresholds,
 		defects.Config{Size: spec.Size, Sigma: spec.Sigma, Seed: spec.Seed})
 	if err != nil {

@@ -72,6 +72,10 @@ const (
 	// otherwise cause address conflicts, but it applies to any pair and
 	// serves as the fallback when AddrDirect placement conflicts).
 	AddrTwoInstr
+	// ScriptDirect applies a pair by driving v1 then v2 verbatim from a
+	// scripted (non-CPU) initiator — no placement constraints, so every MA
+	// test is applicable.
+	ScriptDirect
 )
 
 // String names the scheme.
@@ -85,6 +89,8 @@ func (s Scheme) String() string {
 		return "addr-direct"
 	case AddrTwoInstr:
 		return "addr-two-instr"
+	case ScriptDirect:
+		return "script"
 	default:
 		return fmt.Sprintf("Scheme(%d)", int(s))
 	}
@@ -107,13 +113,21 @@ func (a AppliedTest) String() string {
 	return fmt.Sprintf("%v via %v", a.MA, a.Scheme)
 }
 
-// TestProgram is one self-test program (one session): a memory image, an
-// entry point, and the bookkeeping needed to interpret its responses.
+// TestProgram is one self-test program (one session). For CPU targets it is
+// a memory image plus an entry point; for scripted-initiator targets the
+// Image is nil and Script holds the exact word sequence the initiator
+// drives. Both forms share the response-cell bookkeeping that decides
+// pass/fail.
 type TestProgram struct {
 	Session int
 	Image   *parwan.Image
 	Entry   uint16
-	Applied []AppliedTest
+	// Script, when non-empty, is the word sequence a scripted initiator
+	// drives on its channel (one word per step); Image is nil then.
+	Script []uint64
+	// ScriptWidth is the channel width of the script words.
+	ScriptWidth int
+	Applied     []AppliedTest
 	// ResponseCells is the union of all tests' response cells, sorted in
 	// ascending order; comparing these against a golden run decides
 	// pass/fail.
@@ -138,6 +152,30 @@ type Plan struct {
 	Inapplicable []Rejected
 	// Compaction records whether responses were compacted (§4.3).
 	Compaction bool
+	// Target names the backend the plan was generated for; empty selects the
+	// default Parwan system. Serialized, so plan hashes — the identity fleet
+	// caches and shard keys derive from — are target-distinct.
+	Target string
+	// Channels lists the target's channel names indexed by BusID; empty
+	// selects the Parwan {data, addr} pair.
+	Channels []string
+}
+
+// TargetName resolves the plan's backend name; empty means "parwan".
+func (p *Plan) TargetName() string {
+	if p.Target == "" {
+		return "parwan"
+	}
+	return p.Target
+}
+
+// BusName renders a BusID using the plan's channel-name table, falling back
+// to the Parwan names for plans without one.
+func (p *Plan) BusName(b BusID) string {
+	if int(b) >= 0 && int(b) < len(p.Channels) {
+		return p.Channels[b]
+	}
+	return b.String()
 }
 
 // TotalApplied returns the number of MA tests applied across all sessions.

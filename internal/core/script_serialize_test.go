@@ -1,0 +1,73 @@
+package core_test
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/target"
+)
+
+// TestScriptedPlanRoundTrip: a wide-bus scripted plan — Script words,
+// ScriptWidth, Target and Channels, no memory image — survives
+// serialization exactly, and the serialized form is byte-stable.
+func TestScriptedPlanRoundTrip(t *testing.T) {
+	for _, width := range []int{16, 33, 64} {
+		tgt, err := target.WideBus(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := tgt.Generate(target.GenSpec{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := core.WritePlan(&buf, plan); err != nil {
+			t.Fatal(err)
+		}
+		got, err := core.ReadPlan(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if !reflect.DeepEqual(got, plan) {
+			t.Fatalf("width %d: round-tripped plan differs", width)
+		}
+		var again bytes.Buffer
+		if err := core.WritePlan(&again, got); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+			t.Fatalf("width %d: serialization is not byte-stable", width)
+		}
+	}
+}
+
+// TestScriptedPlanBusName: the channel table names the scripted bus, and
+// parwan plans keep the legacy names without a table.
+func TestScriptedPlanBusName(t *testing.T) {
+	tgt, err := target.WideBus(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tgt.Generate(target.GenSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := plan.BusName(0); got != "bus" {
+		t.Errorf("scripted plan bus 0 name %q, want bus", got)
+	}
+	if got := plan.TargetName(); got != "widebus16" {
+		t.Errorf("scripted plan target %q", got)
+	}
+	legacy := &core.Plan{}
+	if got := legacy.TargetName(); got != "parwan" {
+		t.Errorf("legacy plan target %q, want parwan", got)
+	}
+	if got := legacy.BusName(core.AddrBus); got != "addr" {
+		t.Errorf("legacy plan addr name %q", got)
+	}
+	if got := legacy.BusName(core.DataBus); got != "data" {
+		t.Errorf("legacy plan data name %q", got)
+	}
+}

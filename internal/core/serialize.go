@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 
 	"repro/internal/maf"
 	"repro/internal/parwan"
@@ -17,6 +18,8 @@ import (
 
 type planJSON struct {
 	Compaction   bool           `json:"compaction"`
+	Target       string         `json:"target,omitempty"`
+	Channels     []string       `json:"channels,omitempty"`
 	Programs     []programJSON  `json:"programs"`
 	Inapplicable []rejectedJSON `json:"inapplicable,omitempty"`
 }
@@ -27,7 +30,9 @@ type programJSON struct {
 	StepLimit     int           `json:"step_limit"`
 	ResponseCells []uint16      `json:"response_cells"`
 	Applied       []appliedJSON `json:"applied"`
-	Chunks        []chunkJSON   `json:"image"`
+	Chunks        []chunkJSON   `json:"image,omitempty"`
+	Script        []string      `json:"script,omitempty"`
+	ScriptWidth   int           `json:"script_width,omitempty"`
 }
 
 type chunkJSON struct {
@@ -65,38 +70,45 @@ var busNames = map[string]BusID{"data": DataBus, "addr": AddrBus}
 var schemeNames = map[string]Scheme{
 	"data-fwd": DataForward, "data-rev": DataReverse,
 	"addr-direct": AddrDirect, "addr-two-instr": AddrTwoInstr,
+	"script": ScriptDirect,
 }
 
 // WritePlan serialises the plan as JSON.
 func WritePlan(w io.Writer, p *Plan) error {
-	out := planJSON{Compaction: p.Compaction}
+	out := planJSON{Compaction: p.Compaction, Target: p.Target, Channels: p.Channels}
 	for _, prog := range p.Programs {
 		pj := programJSON{
 			Session:       prog.Session,
 			Entry:         prog.Entry,
 			StepLimit:     prog.StepLimit,
 			ResponseCells: prog.ResponseCells,
+			ScriptWidth:   prog.ScriptWidth,
 		}
 		for _, a := range prog.Applied {
 			pj.Applied = append(pj.Applied, appliedJSON{
 				Victim: a.MA.Fault.Victim, Kind: a.MA.Fault.Kind.String(),
 				Dir: a.MA.Fault.Dir.String(), Width: a.MA.Fault.Width,
-				Bus: a.Bus.String(), Scheme: a.Scheme.String(),
+				Bus: p.BusName(a.Bus), Scheme: a.Scheme.String(),
 				Order: a.Order, ResponseCells: a.ResponseCells,
 			})
 		}
-		addrs := prog.Image.UsedAddrs()
-		for i := 0; i < len(addrs); {
-			j := i
-			for j+1 < len(addrs) && addrs[j+1] == addrs[j]+1 {
-				j++
+		for _, word := range prog.Script {
+			pj.Script = append(pj.Script, fmt.Sprintf("%x", word))
+		}
+		if prog.Image != nil {
+			addrs := prog.Image.UsedAddrs()
+			for i := 0; i < len(addrs); {
+				j := i
+				for j+1 < len(addrs) && addrs[j+1] == addrs[j]+1 {
+					j++
+				}
+				run := make([]byte, 0, j-i+1)
+				for k := i; k <= j; k++ {
+					run = append(run, prog.Image.Get(addrs[k]))
+				}
+				pj.Chunks = append(pj.Chunks, chunkJSON{Addr: addrs[i], Hex: hex.EncodeToString(run)})
+				i = j + 1
 			}
-			run := make([]byte, 0, j-i+1)
-			for k := i; k <= j; k++ {
-				run = append(run, prog.Image.Get(addrs[k]))
-			}
-			pj.Chunks = append(pj.Chunks, chunkJSON{Addr: addrs[i], Hex: hex.EncodeToString(run)})
-			i = j + 1
 		}
 		out.Programs = append(out.Programs, pj)
 	}
@@ -104,7 +116,7 @@ func WritePlan(w io.Writer, p *Plan) error {
 		out.Inapplicable = append(out.Inapplicable, rejectedJSON{
 			Victim: r.MA.Fault.Victim, Kind: r.MA.Fault.Kind.String(),
 			Dir: r.MA.Fault.Dir.String(), Width: r.MA.Fault.Width,
-			Bus: r.Bus.String(), Reason: r.Reason,
+			Bus: p.BusName(r.Bus), Reason: r.Reason,
 		})
 	}
 	enc := json.NewEncoder(w)
@@ -118,7 +130,19 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 	if err := json.NewDecoder(r).Decode(&in); err != nil {
 		return nil, fmt.Errorf("core: decoding plan: %w", err)
 	}
-	p := &Plan{Compaction: in.Compaction}
+	p := &Plan{Compaction: in.Compaction, Target: in.Target, Channels: in.Channels}
+	busFor := func(name string) (BusID, bool) {
+		for i, ch := range in.Channels {
+			if ch == name {
+				return BusID(i), true
+			}
+		}
+		if len(in.Channels) > 0 {
+			return 0, false
+		}
+		b, ok := busNames[name]
+		return b, ok
+	}
 	parseFault := func(victim int, kind, dir string, width int) (maf.Fault, error) {
 		k, ok := kindNames[kind]
 		if !ok {
@@ -141,15 +165,27 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 			Entry:         pj.Entry,
 			StepLimit:     pj.StepLimit,
 			ResponseCells: pj.ResponseCells,
-			Image:         parwan.NewImage(),
+			ScriptWidth:   pj.ScriptWidth,
 		}
-		for _, c := range pj.Chunks {
-			bs, err := hex.DecodeString(c.Hex)
-			if err != nil {
-				return nil, fmt.Errorf("core: chunk at %03x: %w", c.Addr, err)
+		if len(pj.Script) > 0 {
+			// Scripted-initiator program: the word sequence is the program.
+			for _, s := range pj.Script {
+				word, err := strconv.ParseUint(s, 16, 64)
+				if err != nil {
+					return nil, fmt.Errorf("core: script word %q: %w", s, err)
+				}
+				prog.Script = append(prog.Script, word)
 			}
-			if err := prog.Image.SetBytes(c.Addr, bs); err != nil {
-				return nil, err
+		} else {
+			prog.Image = parwan.NewImage()
+			for _, c := range pj.Chunks {
+				bs, err := hex.DecodeString(c.Hex)
+				if err != nil {
+					return nil, fmt.Errorf("core: chunk at %03x: %w", c.Addr, err)
+				}
+				if err := prog.Image.SetBytes(c.Addr, bs); err != nil {
+					return nil, err
+				}
 			}
 		}
 		for _, a := range pj.Applied {
@@ -157,7 +193,7 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 			if err != nil {
 				return nil, err
 			}
-			bus, ok := busNames[a.Bus]
+			bus, ok := busFor(a.Bus)
 			if !ok {
 				return nil, fmt.Errorf("core: unknown bus %q", a.Bus)
 			}
@@ -177,7 +213,7 @@ func ReadPlan(r io.Reader) (*Plan, error) {
 		if err != nil {
 			return nil, err
 		}
-		bus, ok := busNames[r.Bus]
+		bus, ok := busFor(r.Bus)
 		if !ok {
 			return nil, fmt.Errorf("core: unknown bus %q", r.Bus)
 		}

@@ -70,8 +70,20 @@ type Channel struct {
 	// memo caches transmit outcomes keyed by the packed (prev, next, dir)
 	// triple: prev<<(width+1) | next<<1 | dir. The channel's parameter and
 	// threshold sets are fixed, so the key fully determines the outcome.
+	// Buses too wide to pack fall back to memoWide's struct keys; both maps
+	// are never populated at once.
 	memo                 map[uint64]memoEntry
+	memoWide             map[wideKey]memoEntry
+	memoOff              bool // EnableMemo requested but the bus is unkeyable
 	memoHits, memoMisses uint64
+}
+
+// wideKey is the transmit-memo key for buses whose (prev, next, dir) triple
+// does not fit one packed uint64 (width > 31). Words carry up to 64 wires,
+// so two uint64 values plus the direction key any representable transition.
+type wideKey struct {
+	prev, next uint64
+	dir        maf.Direction
 }
 
 // NewChannel builds a channel over the given (possibly defective) parameters
@@ -109,14 +121,29 @@ func (c *Channel) Width() int { return c.p.Width }
 // tiny compared to the number of transmissions (programs replay the same
 // traffic, and hung runs loop over a handful of transitions), so the memo
 // converts the O(W²) analogue analysis of the hot path into a map lookup.
-// A memoized channel must be confined to a single goroutine. Busses wider
-// than 31 wires cannot pack a transition into the memo key; for them
-// EnableMemo is a no-op and transmission stays uncached (and correct).
+// A memoized channel must be confined to a single goroutine. Busses up to
+// 31 wires pack the whole transition into one uint64 key (the fastest path);
+// wider busses up to 64 wires use a struct key. Anything wider (not
+// representable by logic.Word today) records the refusal — MemoUnsupported —
+// so callers can surface a metric instead of silently losing the cache.
 func (c *Channel) EnableMemo() {
-	if c.memo == nil && 2*c.p.Width+1 <= 64 {
+	switch {
+	case c.memo != nil || c.memoWide != nil:
+	case 2*c.p.Width+1 <= 64:
 		c.memo = make(map[uint64]memoEntry)
+	case c.p.Width <= 64:
+		c.memoWide = make(map[wideKey]memoEntry)
+	default:
+		c.memoOff = true
 	}
 }
+
+// MemoActive reports whether transmits are currently being memoized.
+func (c *Channel) MemoActive() bool { return c.memo != nil || c.memoWide != nil }
+
+// MemoUnsupported reports that EnableMemo was requested but the bus is too
+// wide to key; transmission stays uncached (and correct).
+func (c *Channel) MemoUnsupported() bool { return c.memoOff }
 
 // TakeMemoStats returns the number of memoized transmit hits and misses
 // accumulated since the last call, and resets both counters to zero. The
@@ -190,20 +217,33 @@ func (c *Channel) Analyze(v1, v2 logic.Word, dir maf.Direction) []WireAnalysis {
 // When memoization is enabled, repeated transitions return the cached
 // outcome; the returned events slice is then shared and must not be mutated.
 func (c *Channel) Transmit(v1, v2 logic.Word, dir maf.Direction) (logic.Word, []Event) {
-	if c.memo == nil {
-		return c.transmit(v1, v2, dir)
+	if c.memo != nil {
+		k := v1.Uint64()<<uint(c.p.Width+1) | v2.Uint64()<<1 | uint64(dir)&1
+		if e, ok := c.memo[k]; ok {
+			c.memoHits++
+			return e.received, e.events
+		}
+		c.memoMisses++
+		received, events := c.transmit(v1, v2, dir)
+		if len(c.memo) < memoCap {
+			c.memo[k] = memoEntry{received: received, events: events}
+		}
+		return received, events
 	}
-	k := v1.Uint64()<<uint(c.p.Width+1) | v2.Uint64()<<1 | uint64(dir)&1
-	if e, ok := c.memo[k]; ok {
-		c.memoHits++
-		return e.received, e.events
+	if c.memoWide != nil {
+		k := wideKey{prev: v1.Uint64(), next: v2.Uint64(), dir: dir}
+		if e, ok := c.memoWide[k]; ok {
+			c.memoHits++
+			return e.received, e.events
+		}
+		c.memoMisses++
+		received, events := c.transmit(v1, v2, dir)
+		if len(c.memoWide) < memoCap {
+			c.memoWide[k] = memoEntry{received: received, events: events}
+		}
+		return received, events
 	}
-	c.memoMisses++
-	received, events := c.transmit(v1, v2, dir)
-	if len(c.memo) < memoCap {
-		c.memo[k] = memoEntry{received: received, events: events}
-	}
-	return received, events
+	return c.transmit(v1, v2, dir)
 }
 
 // transmit is the uncached transmission path. It is the fused form of

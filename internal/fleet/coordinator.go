@@ -13,10 +13,9 @@ import (
 	"time"
 
 	"repro/internal/campaign"
-	"repro/internal/core"
 	"repro/internal/obs"
-	"repro/internal/parwan"
 	"repro/internal/sim"
+	"repro/internal/target"
 )
 
 // CoordinatorConfig tunes a Coordinator. The zero value selects the
@@ -352,10 +351,11 @@ func (c *Coordinator) runCampaign(ctx context.Context, spec campaign.Spec, shard
 	if err != nil {
 		return nil, 0, FleetStats{}, err
 	}
-	width := parwan.AddrBits
-	if spec.BusID() == core.DataBus {
-		width = parwan.DataBits
+	tgt, err := target.Parse(spec.Target)
+	if err != nil {
+		return nil, 0, FleetStats{}, err
 	}
+	width := tgt.Topology().Channels[spec.BusID()].Width
 
 	inflight := c.cfg.MaxInFlight
 	if inflight <= 0 {
@@ -409,6 +409,7 @@ func (c *Coordinator) runCampaign(ctx context.Context, spec campaign.Spec, shard
 	if err != nil {
 		return nil, 0, FleetStats{}, err
 	}
+	res.BusName = spec.Bus
 	c.defectsMerged.Add(int64(plan.Total))
 	return res, width, fs, nil
 }

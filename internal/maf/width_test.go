@@ -1,0 +1,104 @@
+package maf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// The MAF model is width-generic: a unidirectional N-wire bus has exactly 4N
+// faults (4 kinds x N victims), a bidirectional one 8N (both directions).
+// These tests pin the structural invariants at every width the target
+// backends use — Parwan's 8- and 12-bit busses and the synthetic wide-bus
+// 16/32/64-wire variants — not just the paper's two widths.
+
+var backendWidths = []int{8, 12, 16, 32, 64}
+
+func TestUniverseSizeAcrossWidths(t *testing.T) {
+	for _, w := range backendWidths {
+		if got := len(Universe(w, false)); got != 4*w {
+			t.Errorf("width %d: unidirectional universe has %d faults, want 4N = %d", w, got, 4*w)
+		}
+		if got := len(Universe(w, true)); got != 8*w {
+			t.Errorf("width %d: bidirectional universe has %d faults, want 8N = %d", w, got, 8*w)
+		}
+	}
+}
+
+// Property: the 4N fault count holds for every legal width, not just the
+// enumerated ones.
+func TestUniverseFaultCountProperty(t *testing.T) {
+	f := func(sel uint8) bool {
+		w := 2 + int(sel)%63 // [2, 64], logic.Word's range
+		return len(Universe(w, false)) == 4*w && len(Universe(w, true)) == 8*w
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniverseUniqueAcrossWidths(t *testing.T) {
+	for _, w := range backendWidths {
+		seen := make(map[string]bool)
+		for _, f := range Universe(w, true) {
+			s := f.String()
+			if seen[s] {
+				t.Fatalf("width %d: duplicate fault %s", w, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestTestsMatchUniverseAcrossWidths(t *testing.T) {
+	for _, w := range backendWidths {
+		faults := Universe(w, false)
+		tests := Tests(w, false)
+		if len(tests) != len(faults) {
+			t.Fatalf("width %d: %d tests for %d faults", w, len(tests), len(faults))
+		}
+		for i := range tests {
+			if tests[i].Fault != faults[i] {
+				t.Fatalf("width %d test %d: fault %v, want %v", w, i, tests[i].Fault, faults[i])
+			}
+			if tests[i].V1.Width() != w || tests[i].V2.Width() != w {
+				t.Fatalf("width %d test %d: vector widths %d/%d",
+					w, i, tests[i].V1.Width(), tests[i].V2.Width())
+			}
+		}
+	}
+}
+
+func TestMAVectorPairsUniqueAcrossWidths(t *testing.T) {
+	for _, w := range backendWidths {
+		seen := make(map[[2]uint64]Fault)
+		for _, mt := range Tests(w, false) {
+			key := [2]uint64{mt.V1.Uint64(), mt.V2.Uint64()}
+			if prev, ok := seen[key]; ok {
+				t.Fatalf("width %d: tests %v and %v share vector pair (%s, %s)",
+					w, prev, mt.Fault, mt.V1, mt.V2)
+			}
+			seen[key] = mt.Fault
+		}
+	}
+}
+
+// Every MA pair keeps the Fig. 1 structure at every width: all aggressors
+// transition, and the victim bit is stable for glitch tests and an edge for
+// delay tests.
+func TestMAPairStructureAcrossWidths(t *testing.T) {
+	for _, w := range backendWidths {
+		for _, mt := range Tests(w, false) {
+			x := mt.V1.Xor(mt.V2)
+			for i := 0; i < w; i++ {
+				want := uint(1)
+				if i == mt.Fault.Victim && mt.Fault.Kind.IsGlitch() {
+					want = 0
+				}
+				if x.Bit(i) != want {
+					t.Fatalf("width %d %v: wire %d of %s^%s = %d, want %d",
+						w, mt.Fault, i, mt.V1, mt.V2, x.Bit(i), want)
+				}
+			}
+		}
+	}
+}

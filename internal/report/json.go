@@ -69,8 +69,12 @@ func sortedFaultCounts(m map[maf.Fault]int) []FaultCountJSON {
 // NewCampaignJSON converts a campaign result. When width > 0 the Fig. 11
 // per-wire coverage series for that bus width is included.
 func NewCampaignJSON(res *sim.CampaignResult, width int) *CampaignJSON {
+	bus := res.BusName
+	if bus == "" {
+		bus = res.Bus.String()
+	}
 	out := &CampaignJSON{
-		Bus:           res.Bus.String(),
+		Bus:           bus,
 		Total:         res.Total,
 		Detected:      res.Detected,
 		Crashed:       res.Crashed,

@@ -2,39 +2,36 @@ package sim
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/core"
 	"repro/internal/crosstalk"
-	"repro/internal/logic"
 	"repro/internal/maf"
-	"repro/internal/parwan"
-	"repro/internal/soc"
+	"repro/internal/target"
 )
 
 // Engine selects a Runner's defect-simulation strategy.
 //
 // The runner is a two-tier engine. Tier 1 (replay) exploits a determinism
 // argument: the bus traffic a program drives is a function of the values the
-// CPU and memory have received so far, so as long as every transaction of a
-// defective run latches exactly the golden values, the whole run is
-// bit-identical to the golden run and the defect is provably undetected.
-// Replay therefore pushes the golden transaction trace through the defective
-// channel as pure channel arithmetic — no CPU, no RAM — and only sessions
-// whose trace diverges need tier 2 (execution). Tier 2 resumes the full CPU
-// execution from the golden snapshot at the instruction containing the first
-// diverging transaction, so fault masking, crashes and hangs are modelled
-// exactly as the paper's Fig. 9 flow requires.
+// initiator and responder have received so far, so as long as every
+// transaction of a defective run latches exactly the golden values, the
+// whole run is bit-identical to the golden run and the defect is provably
+// undetected. Replay therefore pushes the golden transaction trace through
+// the defective channel as pure channel arithmetic — no CPU, no RAM — and
+// only sessions whose trace diverges need tier 2 (execution). Tier 2 resumes
+// the full execution from the golden snapshot at the first diverging
+// transaction, so fault masking, crashes and hangs are modelled exactly as
+// the paper's Fig. 9 flow requires.
 type Engine int
 
 const (
 	// Auto replays the golden trace through the defective channel and falls
-	// back to (resumed) full CPU execution on the first diverging
-	// transaction. Exact: campaigns are byte-identical to Execute.
+	// back to (resumed) full execution on the first diverging transaction.
+	// Exact: campaigns are byte-identical to Execute.
 	Auto Engine = iota
-	// Execute performs the complete CPU execution of every session program
-	// for every defect — the paper's Fig. 9 flow and this package's
-	// original behaviour, kept as the reference tier.
+	// Execute performs the complete execution of every session program for
+	// every defect — the paper's Fig. 9 flow and this package's original
+	// behaviour, kept as the reference tier.
 	Execute
 	// Replay never executes: a defect whose trace replay diverges anywhere
 	// is reported detected without modelling what the corruption does to
@@ -77,7 +74,7 @@ func ParseEngine(s string) (Engine, error) {
 // runs (atomic snapshot; the runner may be serving concurrent campaigns).
 type EngineStats struct {
 	// ReplayHits counts defect runs resolved as undetected by trace replay
-	// alone — no CPU execution at all.
+	// alone — no execution at all.
 	ReplayHits int64 `json:"replay_hits"`
 	// Fallbacks counts Auto runs whose replay diverged and fell back to
 	// (resumed) execution.
@@ -88,25 +85,33 @@ type EngineStats struct {
 	// divergence alone, without execution.
 	Screened int64 `json:"screened"`
 	// MemoHits and MemoMisses count channel-transmit memo lookups across
-	// all memoized channels the runner used.
+	// all memoized channels the runner used (the per-defect channels plus
+	// the target core's nominal channels).
 	MemoHits   int64 `json:"memo_hits"`
 	MemoMisses int64 `json:"memo_misses"`
+	// MemoUnsupported counts defective channels whose width exceeds the
+	// transmit memo's 64-wire ceiling, so they ran memo-off.
+	MemoUnsupported int64 `json:"memo_unsupported,omitempty"`
 }
 
-// Stats snapshots the runner's engine counters.
+// Stats snapshots the runner's engine counters. Memo counters combine the
+// per-defect channels (harvested by the runner) with the target core's
+// nominal-channel totals.
 func (r *Runner) Stats() EngineStats {
+	coreHits, coreMisses := r.core.MemoStats()
 	return EngineStats{
-		ReplayHits: r.replayHits.Load(),
-		Fallbacks:  r.fallbacks.Load(),
-		Executes:   r.executes.Load(),
-		Screened:   r.screened.Load(),
-		MemoHits:   r.memoHits.Load(),
-		MemoMisses: r.memoMisses.Load(),
+		ReplayHits:      r.replayHits.Load(),
+		Fallbacks:       r.fallbacks.Load(),
+		Executes:        r.executes.Load(),
+		Screened:        r.screened.Load(),
+		MemoHits:        r.memoHits.Load() + int64(coreHits),
+		MemoMisses:      r.memoMisses.Load() + int64(coreMisses),
+		MemoUnsupported: r.memoUnsupported.Load(),
 	}
 }
 
-// RunDefectEngine simulates one defective parameter set on the given bus
-// (the other bus stays nominal) across every session program, using the
+// RunDefectEngine simulates one defective parameter set on the given channel
+// (the other channels stay nominal) across every session program, using the
 // selected engine. Auto and Execute produce identical Outcomes; Replay is a
 // screening approximation (see Engine). When the golden runs themselves
 // suffered crosstalk events — possible under aggressive threshold factors —
@@ -117,10 +122,10 @@ func (r *Runner) RunDefectEngine(bus core.BusID, defective *crosstalk.Params, en
 		r.executes.Add(1)
 		return r.runDefectExecute(bus, defective)
 	}
-	th := r.addr.Thresholds
-	if bus == core.DataBus {
-		th = r.data.Thresholds
+	if int(bus) < 0 || int(bus) >= len(r.models) {
+		return Outcome{}, fmt.Errorf("sim: %s has no channel %d", r.tgt.Name(), bus)
 	}
+	th := r.models[bus].Thresholds
 	defCh, err := crosstalk.NewChannel(defective, th)
 	if err != nil {
 		return Outcome{}, err
@@ -130,6 +135,9 @@ func (r *Runner) RunDefectEngine(bus core.BusID, defective *crosstalk.Params, en
 	// thousands of steps, and the replay pass pre-warms the memo the
 	// execution fallback then hits.
 	defCh.EnableMemo()
+	if defCh.MemoUnsupported() {
+		r.memoUnsupported.Add(1)
+	}
 	var out Outcome
 	if eng == Replay {
 		out = r.runDefectReplay(bus, defCh)
@@ -138,185 +146,6 @@ func (r *Runner) RunDefectEngine(bus core.BusID, defective *crosstalk.Params, en
 	}
 	r.harvestMemo(defCh)
 	return out, err
-}
-
-// busStep is one bus transaction's transition on a single bus: the word the
-// bus held before, the word driven, and the drive direction.
-type busStep struct {
-	prev, next logic.Word
-	dir        maf.Direction
-}
-
-// memWrite is one golden memory store, used to fast-forward RAM state when
-// resuming execution from a snapshot.
-type memWrite struct {
-	tx   int // transaction index of the store
-	addr uint16
-	data uint8
-}
-
-// cpuSnap is the golden machine state at one instruction boundary: enough
-// to resume execution exactly as if the program had run from its entry.
-type cpuSnap struct {
-	tx       int // index of the next transaction at this boundary
-	steps    int // instructions retired so far
-	pc       uint16
-	ac       uint8
-	flags    parwan.Flags
-	cycles   uint64
-	prevAddr uint16 // value held on the address bus
-	prevData uint8  // value held on the data bus
-	prevCtrl uint8  // command held on the control bus
-}
-
-// sessionTrace is the golden transaction trace of one session program in
-// replayable form.
-type sessionTrace struct {
-	addrSteps []busStep
-	dataSteps []busStep
-	writes    []memWrite // golden stores in transaction order
-	snaps     []cpuSnap  // one per instruction boundary, ascending tx
-}
-
-// steps returns the transition sequence of the given bus.
-func (st *sessionTrace) steps(bus core.BusID) []busStep {
-	if bus == core.DataBus {
-		return st.dataSteps
-	}
-	return st.addrSteps
-}
-
-// captureGolden executes one session program on the nominal busses with
-// tracing on and converts the trace into the replay structures. The run is
-// step-driven (rather than sys.Run) so that a golden CPU snapshot can be
-// recorded at every instruction boundary; the resulting RunResult is
-// identical to a plain Run of the same program.
-func (r *Runner) captureGolden(prog *core.TestProgram) (RunResult, sessionTrace, error) {
-	addrCh, err := crosstalk.NewChannel(r.addr.Nominal, r.addr.Thresholds)
-	if err != nil {
-		return RunResult{}, sessionTrace{}, err
-	}
-	dataCh, err := crosstalk.NewChannel(r.data.Nominal, r.data.Thresholds)
-	if err != nil {
-		return RunResult{}, sessionTrace{}, err
-	}
-	sys, err := soc.New(soc.Config{AddrChannel: addrCh, DataChannel: dataCh, Trace: true})
-	if err != nil {
-		return RunResult{}, sessionTrace{}, err
-	}
-	sys.LoadImage(prog.Image)
-	sys.CPU.PC = prog.Entry
-
-	var st sessionTrace
-	steps := 0
-	var execErr error
-	for steps < prog.StepLimit && !sys.CPU.Halted() {
-		snap := cpuSnap{
-			tx: sys.Seq(), steps: steps,
-			pc: sys.CPU.PC, ac: sys.CPU.AC, flags: sys.CPU.Flags, cycles: sys.CPU.Cycles,
-			prevCtrl: soc.CtrlRead,
-		}
-		if tr := sys.Trace(); len(tr) > 0 {
-			last := tr[len(tr)-1]
-			snap.prevAddr, snap.prevData, snap.prevCtrl = last.Addr, last.Data, last.Ctrl
-		}
-		st.snaps = append(st.snaps, snap)
-		if err := sys.CPU.Step(); err != nil {
-			execErr = err
-			break
-		}
-		steps++
-	}
-
-	res := RunResult{
-		Responses: make(map[uint16]uint8, len(prog.ResponseCells)),
-		Halted:    sys.CPU.Halted(),
-		ExecErr:   execErr,
-		Steps:     steps,
-		Cycles:    sys.CPU.Cycles,
-		Events:    sys.ErrorCount(),
-	}
-	for _, cell := range prog.ResponseCells {
-		res.Responses[cell] = sys.Peek(cell)
-	}
-
-	for _, tr := range sys.Trace() {
-		st.addrSteps = append(st.addrSteps, busStep{
-			prev: logic.NewWord(uint64(tr.AddrPrev), parwan.AddrBits),
-			next: logic.NewWord(uint64(tr.Addr), parwan.AddrBits),
-			dir:  maf.Forward,
-		})
-		dir := maf.Forward
-		if tr.Write {
-			dir = maf.Reverse
-		}
-		st.dataSteps = append(st.dataSteps, busStep{
-			prev: logic.NewWord(uint64(tr.DataPrev), parwan.DataBits),
-			next: logic.NewWord(uint64(tr.Data), parwan.DataBits),
-			dir:  dir,
-		})
-		if tr.Write && tr.CtrlRecv&soc.CtrlWrite != 0 {
-			st.writes = append(st.writes, memWrite{tx: tr.Seq, addr: tr.AddrRecv, data: tr.DataRecv})
-		}
-	}
-	return res, st, nil
-}
-
-// replayDiverge pushes one session's golden transition sequence through the
-// defective channel and returns the index of the first transaction whose
-// received word differs from the golden (= driven) word, or -1 when the
-// whole trace transfers cleanly. Any error event changes the received word
-// (delays latch the previous value of a switching wire, glitches flip a
-// stable wire), so divergence is exactly "the transmit produced events".
-func replayDiverge(steps []busStep, ch *crosstalk.Channel) int {
-	for t := range steps {
-		if _, events := ch.Transmit(steps[t].prev, steps[t].next, steps[t].dir); len(events) > 0 {
-			return t
-		}
-	}
-	return -1
-}
-
-// execUnit is a reusable execution rig: one System plus persistent memoized
-// nominal channels. Units are pooled per runner and confined to one
-// goroutine while in use, so the channel memos need no locking; the nominal
-// memos survive across defects, which is where the bulk of the transmit
-// working set repeats.
-type execUnit struct {
-	sys    *soc.System
-	addrCh *crosstalk.Channel // nominal address channel, memoized
-	dataCh *crosstalk.Channel // nominal data channel, memoized
-}
-
-// getUnit takes an execution rig from the pool, building one on first use.
-func (r *Runner) getUnit() (*execUnit, error) {
-	if v := r.pool.Get(); v != nil {
-		return v.(*execUnit), nil
-	}
-	addrCh, err := crosstalk.NewChannel(r.addr.Nominal, r.addr.Thresholds)
-	if err != nil {
-		return nil, err
-	}
-	dataCh, err := crosstalk.NewChannel(r.data.Nominal, r.data.Thresholds)
-	if err != nil {
-		return nil, err
-	}
-	addrCh.EnableMemo()
-	dataCh.EnableMemo()
-	sys, err := soc.New(soc.Config{AddrChannel: addrCh, DataChannel: dataCh})
-	if err != nil {
-		return nil, err
-	}
-	return &execUnit{sys: sys, addrCh: addrCh, dataCh: dataCh}, nil
-}
-
-// putUnit returns a rig to the pool, restoring the nominal channels so the
-// defective channel of the last run can be collected, and draining the
-// nominal memo counters into the runner totals.
-func (r *Runner) putUnit(u *execUnit) {
-	_ = u.sys.SetChannels(u.addrCh, u.dataCh, nil)
-	r.harvestMemo(u.addrCh, u.dataCh)
-	r.pool.Put(u)
 }
 
 // harvestMemo drains channel memo counters into the runner's totals.
@@ -328,84 +157,36 @@ func (r *Runner) harvestMemo(chs ...*crosstalk.Channel) {
 	}
 }
 
-// resumeSession executes the tail of one session on a pooled rig, starting
-// from the golden snapshot at the instruction whose execution contains the
-// first diverging transaction. Every transaction before the snapshot latched
-// golden values (the replay proved it), so the golden machine state at the
-// boundary is exactly the defective run's state: re-running from there is
-// bit-identical to executing the whole program, at the cost of only the
-// suffix. The few transactions between the snapshot and the divergence are
-// re-executed and, being clean, reproduce their golden effects.
-func (r *Runner) resumeSession(u *execUnit, session, divergeTx int, bus core.BusID, defCh *crosstalk.Channel) (RunResult, error) {
-	prog := r.plan.Programs[session]
-	st := &r.traces[session]
-	si := sort.Search(len(st.snaps), func(i int) bool { return st.snaps[i].tx > divergeTx }) - 1
-	snap := st.snaps[si]
-
-	sys := u.sys
-	var err error
-	if bus == core.AddrBus {
-		err = sys.SetChannels(defCh, u.dataCh, nil)
-	} else {
-		err = sys.SetChannels(u.addrCh, defCh, nil)
-	}
-	if err != nil {
-		return RunResult{}, err
-	}
-	sys.Reset()
-	sys.LoadBytes(r.images[session])
-	for _, w := range st.writes {
-		if w.tx >= snap.tx {
-			break
+// replayDiverge pushes one session's golden transition sequence through the
+// defective channel and returns the index of the first transaction whose
+// received word differs from the golden (= driven) word, or -1 when the
+// whole trace transfers cleanly. Any error event changes the received word
+// (delays latch the previous value of a switching wire, glitches flip a
+// stable wire), so divergence is exactly "the transmit produced events".
+func replayDiverge(steps []target.BusStep, ch *crosstalk.Channel) int {
+	for t := range steps {
+		if _, events := ch.Transmit(steps[t].Prev, steps[t].Next, steps[t].Dir); len(events) > 0 {
+			return t
 		}
-		sys.Poke(w.addr, w.data)
 	}
-	sys.SetHeld(snap.prevAddr, snap.prevData, snap.prevCtrl)
-	sys.CPU.PC, sys.CPU.AC, sys.CPU.Flags = snap.pc, snap.ac, snap.flags
-	sys.CPU.Cycles, sys.CPU.Steps = snap.cycles, uint64(snap.steps)
-
-	sub, execErr := sys.Run(prog.StepLimit - snap.steps)
-	res := RunResult{
-		Responses: make(map[uint16]uint8, len(prog.ResponseCells)),
-		Halted:    sys.CPU.Halted(),
-		ExecErr:   execErr,
-		Steps:     snap.steps + sub,
-		Cycles:    sys.CPU.Cycles,
-		Events:    sys.ErrorCount(),
-	}
-	for _, cell := range prog.ResponseCells {
-		res.Responses[cell] = sys.Peek(cell)
-	}
-	return res, nil
+	return -1
 }
 
 // runDefectAuto is the Auto tier: per session, replay first; resume
-// execution only from the first diverging transaction.
+// execution via the target core only from the first diverging transaction.
 func (r *Runner) runDefectAuto(bus core.BusID, defCh *crosstalk.Channel) (Outcome, error) {
 	out := Outcome{Bus: bus}
 	seen := make(map[maf.Fault]bool)
-	var unit *execUnit
-	defer func() {
-		if unit != nil {
-			r.putUnit(unit)
-		}
-	}()
 	executed := false
 	for i, prog := range r.plan.Programs {
-		k := replayDiverge(r.traces[i].steps(bus), defCh)
+		k := replayDiverge(r.traces[i][bus], defCh)
 		if k < 0 {
 			// Clean replay: the session run is bit-identical to golden, so
 			// it contributes no activations, no crash, and no mismatches.
 			continue
 		}
 		executed = true
-		if unit == nil {
-			var err error
-			if unit, err = r.getUnit(); err != nil {
-				return Outcome{}, err
-			}
-		}
-		res, err := r.resumeSession(unit, i, k, bus, defCh)
+		res, err := r.core.Resume(i, bus, defCh, k)
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -429,8 +210,8 @@ func (r *Runner) runDefectAuto(bus core.BusID, defCh *crosstalk.Channel) (Outcom
 func (r *Runner) runDefectReplay(bus core.BusID, defCh *crosstalk.Channel) Outcome {
 	out := Outcome{Bus: bus, Replayed: true}
 	for i := range r.plan.Programs {
-		for _, s := range r.traces[i].steps(bus) {
-			if _, events := defCh.Transmit(s.prev, s.next, s.dir); len(events) > 0 {
+		for _, s := range r.traces[i][bus] {
+			if _, events := defCh.Transmit(s.Prev, s.Next, s.Dir); len(events) > 0 {
 				out.Detected = true
 				out.Activations += len(events)
 			}

@@ -1,21 +1,22 @@
 // Package sim is the system-level defect-simulation environment of the
-// paper's Fig. 9: it executes a generated self-test plan on the CPU-memory
-// system, first on the defect-free (nominal) busses to obtain the golden
+// paper's Fig. 9: it executes a generated self-test plan on the target
+// system, first on the defect-free (nominal) channels to obtain the golden
 // response signatures, then once per defect from a defect library, and
 // decides detection by comparing the response cells unloaded from memory.
 //
 // Because every defect run executes the complete program through the
 // crosstalk error model, fault masking is modelled exactly as in the paper:
-// a defect is activated many times as the CPU executes the program, and all
-// of its effects — including corrupted fetches that crash or hang the
-// program, which a tester would observe as a timeout — contribute to the
-// outcome.
+// a defect is activated many times as the program executes, and all of its
+// effects — including corrupted fetches that crash or hang the program,
+// which a tester would observe as a timeout — contribute to the outcome.
 //
-// The runner is a two-tier engine (see Engine): golden transaction traces
-// captured at construction let most defect runs be decided by replaying the
-// trace through the defective channel alone, falling back to full CPU
-// execution — resumed from the golden snapshot at the first diverging
-// transaction — only when the defect actually fires.
+// The runner is target-agnostic: it drives a target.Core (Parwan CPU-memory
+// by default, or any other backend) and owns only the two-tier engine logic
+// (see Engine): golden transaction traces captured at construction let most
+// defect runs be decided by replaying the trace through the defective
+// channel alone, falling back to full execution — resumed from the golden
+// snapshot at the first diverging transaction — only when the defect
+// actually fires.
 package sim
 
 import (
@@ -30,78 +31,72 @@ import (
 	"repro/internal/crosstalk"
 	"repro/internal/defects"
 	"repro/internal/maf"
-	"repro/internal/parwan"
-	"repro/internal/soc"
+	"repro/internal/target"
 )
 
-// BusSetup bundles one bus's nominal electrical description.
-type BusSetup struct {
-	Nominal    *crosstalk.Params
-	Thresholds crosstalk.Thresholds
-}
+// BusSetup bundles one channel's nominal electrical description. It is the
+// target layer's BusModel under this package's historical name.
+type BusSetup = target.BusModel
 
 // DefaultSetups returns the nominal setups for the paper's 12-bit address
 // bus and 8-bit data bus using the default geometry and threshold factor.
 func DefaultSetups() (addr, data BusSetup, err error) {
-	an := crosstalk.Nominal(parwan.AddrBits)
-	at, err := crosstalk.DeriveThresholds(an, 0)
+	models, err := target.Parwan().BusModels(0)
 	if err != nil {
 		return BusSetup{}, BusSetup{}, err
 	}
-	dn := crosstalk.Nominal(parwan.DataBits)
-	dt, err := crosstalk.DeriveThresholds(dn, 0)
-	if err != nil {
-		return BusSetup{}, BusSetup{}, err
-	}
-	return BusSetup{an, at}, BusSetup{dn, dt}, nil
+	return models[core.AddrBus], models[core.DataBus], nil
 }
 
 // RunResult is one program execution's observable outcome.
-type RunResult struct {
-	Responses map[uint16]uint8 // response-cell contents after the run
-	Halted    bool             // reached the halt self-jump
-	ExecErr   error            // illegal opcode (possible under corruption)
-	Steps     int
-	Cycles    uint64
-	// Events counts crosstalk error events on either bus during the run —
-	// how many times the defect was activated. The paper stresses that the
-	// defect "is indeed activated many times as the CPU executes the test
-	// program", which is what makes fault masking part of the simulation.
-	Events int
-}
+type RunResult = target.RunResult
 
-// Runner executes a self-test plan against nominal or defective busses. It
-// is safe for concurrent use: defect runs share only immutable golden state,
-// a pool of reusable execution rigs, and atomic counters.
+// Runner executes a self-test plan against nominal or defective channels of
+// one target. It is safe for concurrent use: defect runs share only the
+// immutable golden state, the target core (itself concurrency-safe), and
+// atomic counters.
 type Runner struct {
-	plan *core.Plan
-	addr BusSetup
-	data BusSetup
+	tgt    target.Target
+	models []target.BusModel
+	core   target.Core
+	plan   *core.Plan
 
 	golden       []RunResult // per session program
 	goldenCycles uint64
 
-	traces   []sessionTrace // golden transaction traces, per session
-	images   [][]byte       // rendered program images, per session
-	replayOK bool           // golden traffic is event-free (replay precondition)
-	pool     sync.Pool      // *execUnit
+	// traces[s][ch] is session s's golden transition sequence on channel ch.
+	traces   [][][]target.BusStep
+	replayOK bool // golden traffic is event-free (replay precondition)
 
-	replayHits atomic.Int64
-	fallbacks  atomic.Int64
-	executes   atomic.Int64
-	screened   atomic.Int64
-	memoHits   atomic.Int64
-	memoMisses atomic.Int64
+	replayHits      atomic.Int64
+	fallbacks       atomic.Int64
+	executes        atomic.Int64
+	screened        atomic.Int64
+	memoHits        atomic.Int64
+	memoMisses      atomic.Int64
+	memoUnsupported atomic.Int64
 }
 
-// NewRunner builds a runner and executes the golden (defect-free) reference
-// runs, capturing each session's transaction trace for the replay engine.
-// It fails if any golden run does not halt cleanly — a plan whose programs
-// misbehave on a good chip is a generation bug, not a test result.
+// NewRunner builds a Parwan-backend runner from this package's historical
+// signature: the address and data bus setups of the paper's system.
 func NewRunner(plan *core.Plan, addr, data BusSetup) (*Runner, error) {
-	r := &Runner{plan: plan, addr: addr, data: data, replayOK: true}
-	for _, prog := range plan.Programs {
-		res, st, err := r.captureGolden(prog)
+	return NewTargetRunner(target.Parwan(), plan, []BusSetup{core.DataBus: data, core.AddrBus: addr})
+}
+
+// NewTargetRunner builds a runner for any target backend and executes the
+// golden (defect-free) reference runs, capturing each session's per-channel
+// transaction traces for the replay engine. models is indexed by channel ID,
+// as returned by the target's BusModels. It fails if any golden run does not
+// halt cleanly — a plan whose programs misbehave on a good chip is a
+// generation bug, not a test result.
+func NewTargetRunner(tgt target.Target, plan *core.Plan, models []target.BusModel) (*Runner, error) {
+	c, err := tgt.NewCore(plan, models)
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{tgt: tgt, models: models, core: c, plan: plan, replayOK: true}
+	for s, prog := range plan.Programs {
+		res, steps, err := c.Golden(s)
 		if err != nil {
 			return nil, err
 		}
@@ -110,15 +105,14 @@ func NewRunner(plan *core.Plan, addr, data BusSetup) (*Runner, error) {
 				prog.Session, res.Halted, res.ExecErr)
 		}
 		if res.Events > 0 {
-			// The nominal busses already err on the golden traffic (possible
+			// The nominal channels already err on the golden traffic (possible
 			// under aggressive threshold factors): "identical to golden"
 			// can no longer be read off the trace, so replay is disabled
 			// and every engine degrades to Execute.
 			r.replayOK = false
 		}
 		r.golden = append(r.golden, res)
-		r.traces = append(r.traces, st)
-		r.images = append(r.images, prog.Image.Bytes())
+		r.traces = append(r.traces, steps)
 		r.goldenCycles += res.Cycles
 	}
 	return r, nil
@@ -127,46 +121,16 @@ func NewRunner(plan *core.Plan, addr, data BusSetup) (*Runner, error) {
 // Plan returns the plan under simulation.
 func (r *Runner) Plan() *core.Plan { return r.plan }
 
-// GoldenCycles returns the total CPU cycles of all golden session runs —
-// the paper's "total execution time of the programs" (1720 cycles for its
+// Target returns the backend the runner simulates.
+func (r *Runner) Target() target.Target { return r.tgt }
+
+// GoldenCycles returns the total cycles of all golden session runs — the
+// paper's "total execution time of the programs" (1720 cycles for its
 // system).
 func (r *Runner) GoldenCycles() uint64 { return r.goldenCycles }
 
 // Golden returns the golden result of one session.
 func (r *Runner) Golden(session int) RunResult { return r.golden[session] }
-
-// runProgram executes one session program on a system built from the given
-// bus parameter sets (thresholds always come from the nominal setups).
-func (r *Runner) runProgram(prog *core.TestProgram, addrParams, dataParams *crosstalk.Params) (RunResult, error) {
-	addrCh, err := crosstalk.NewChannel(addrParams, r.addr.Thresholds)
-	if err != nil {
-		return RunResult{}, err
-	}
-	dataCh, err := crosstalk.NewChannel(dataParams, r.data.Thresholds)
-	if err != nil {
-		return RunResult{}, err
-	}
-	sys, err := soc.New(soc.Config{AddrChannel: addrCh, DataChannel: dataCh})
-	if err != nil {
-		return RunResult{}, err
-	}
-	sys.LoadImage(prog.Image)
-	sys.CPU.PC = prog.Entry
-
-	steps, execErr := sys.Run(prog.StepLimit)
-	res := RunResult{
-		Responses: make(map[uint16]uint8, len(prog.ResponseCells)),
-		Halted:    sys.CPU.Halted(),
-		ExecErr:   execErr,
-		Steps:     steps,
-		Cycles:    sys.CPU.Cycles,
-		Events:    sys.ErrorCount(),
-	}
-	for _, cell := range prog.ResponseCells {
-		res.Responses[cell] = sys.Peek(cell)
-	}
-	return res, nil
-}
 
 // Outcome is the verdict for one defect.
 type Outcome struct {
@@ -188,9 +152,9 @@ type Outcome struct {
 	// Activations counts crosstalk error events across all session runs —
 	// how many times the defect fired while the programs executed.
 	Activations int
-	// Replayed is true when the outcome was settled without any CPU
-	// execution: every session's trace replayed cleanly (Auto), or the
-	// defect was screened by replay alone (Replay). Diagnostic only — it is
+	// Replayed is true when the outcome was settled without any execution:
+	// every session's trace replayed cleanly (Auto), or the defect was
+	// screened by replay alone (Replay). Diagnostic only — it is
 	// deliberately excluded from campaign reports so engines stay
 	// byte-identical.
 	Replayed bool `json:"-"`
@@ -213,27 +177,20 @@ func (o *Outcome) normalize() {
 	o.DetectedBy = o.DetectedBy[:w]
 }
 
-// RunDefect simulates one defective parameter set on the given bus (the
-// other bus stays nominal) across every session program, with the default
-// Auto engine.
+// RunDefect simulates one defective parameter set on the given channel (the
+// other channels stay nominal) across every session program, with the
+// default Auto engine.
 func (r *Runner) RunDefect(bus core.BusID, defective *crosstalk.Params) (Outcome, error) {
 	return r.RunDefectEngine(bus, defective, Auto)
 }
 
 // runDefectExecute is the Execute tier: the paper's Fig. 9 flow verbatim, a
-// complete CPU execution of every session program on freshly built systems.
+// complete execution of every session program on freshly built systems.
 func (r *Runner) runDefectExecute(bus core.BusID, defective *crosstalk.Params) (Outcome, error) {
 	out := Outcome{Bus: bus}
 	seen := make(map[maf.Fault]bool)
 	for i, prog := range r.plan.Programs {
-		addrParams, dataParams := r.addr.Nominal, r.data.Nominal
-		switch bus {
-		case core.AddrBus:
-			addrParams = defective
-		case core.DataBus:
-			dataParams = defective
-		}
-		res, err := r.runProgram(prog, addrParams, dataParams)
+		res, err := r.core.Run(i, bus, defective)
 		if err != nil {
 			return Outcome{}, err
 		}
@@ -275,7 +232,10 @@ func (r *Runner) judge(out *Outcome, session int, prog *core.TestProgram, res Ru
 
 // CampaignResult aggregates a defect library's outcomes.
 type CampaignResult struct {
-	Bus      core.BusID
+	Bus core.BusID
+	// BusName is the channel's target-level name; empty means the Parwan
+	// default (the BusID's own spelling).
+	BusName  string
 	Total    int
 	Detected int
 	Crashed  int
@@ -330,9 +290,9 @@ type CampaignOpts struct {
 	Observe func(out Outcome, d time.Duration)
 }
 
-// Campaign simulates every defect in the library on the given bus. Defect
-// runs are independent, so they execute on a worker pool; the result is
-// deterministic because outcomes are collected by defect index and
+// Campaign simulates every defect in the library on the given channel.
+// Defect runs are independent, so they execute on a worker pool; the result
+// is deterministic because outcomes are collected by defect index and
 // aggregated in order.
 func (r *Runner) Campaign(bus core.BusID, lib *defects.Library) (*CampaignResult, error) {
 	return r.CampaignCtx(context.Background(), bus, lib, CampaignOpts{})
@@ -430,7 +390,9 @@ dispatch:
 			return nil, fmt.Errorf("sim: defect %d: %w", lib.Defects[i].ID, err)
 		}
 	}
-	return Aggregate(bus, outcomes), nil
+	res := Aggregate(bus, outcomes)
+	res.BusName = r.plan.BusName(bus)
+	return res, nil
 }
 
 // Aggregate builds a CampaignResult from per-defect outcomes ordered by
@@ -470,8 +432,8 @@ type WirePoint struct {
 	Cumulative float64 // coverage of wires 0..Wire combined
 }
 
-// Fig11Campaign reproduces the paper's Fig. 11 measurement for either bus:
-// for each interconnect, the MA tests for that wire alone are generated
+// Fig11Campaign reproduces the paper's Fig. 11 measurement for either Parwan
+// bus: for each interconnect, the MA tests for that wire alone are generated
 // into their own program and run against every defect in the library; the
 // individual bar is that program's coverage and the cumulative bar is the
 // union of detections of wires 0..i. Isolating each wire's tests is what

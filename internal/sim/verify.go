@@ -26,9 +26,14 @@ func (v Violation) String() string {
 // tracing and confirms that each applied test's exact MA vector pair occurs
 // as a back-to-back transition on the right bus in the right direction. It
 // returns the tests that failed the check (empty means the plan is sound).
+// Scripted plans carry their vector pairs verbatim by construction, so only
+// Parwan (memory-image) plans are checked.
 func VerifyPlan(plan *core.Plan) ([]Violation, error) {
 	var violations []Violation
 	for _, prog := range plan.Programs {
+		if prog.Image == nil {
+			continue
+		}
 		sys, err := soc.New(soc.Config{Trace: true})
 		if err != nil {
 			return nil, err

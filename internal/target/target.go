@@ -1,0 +1,207 @@
+// Package target is the pluggable backend layer under the simulation stack:
+// it abstracts the system under test — which channels exist (Topology), how
+// each channel behaves electrically (BusModel), how a self-test plan is
+// generated for it, and how that plan executes (Core) — so the MA-test
+// method, which is target-agnostic (4N faults for any N-wire channel),
+// applies beyond the paper's Parwan CPU.
+//
+// Two backends ship: Parwan, the paper's 12-bit-address/8-bit-data CPU-memory
+// system (byte-identical to the pre-refactor stack by construction), and
+// WideBus, a synthetic unidirectional bus of configurable width driven by a
+// scripted initiator, proving the interfaces hold for non-CPU targets.
+package target
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/crosstalk"
+	"repro/internal/logic"
+	"repro/internal/maf"
+)
+
+// Role classifies what a channel carries, for reporting and documentation;
+// the simulation layers only use channel IDs and widths.
+type Role string
+
+// The channel roles of the shipped backends.
+const (
+	RoleData    Role = "data"
+	RoleAddress Role = "address"
+	RoleBus     Role = "bus"
+)
+
+// ChannelDesc describes one named interconnect channel of a target.
+type ChannelDesc struct {
+	// Name is the channel's stable identifier — what campaign specs and the
+	// -bus flag select, and what reports print.
+	Name string
+	// Width is the number of wires.
+	Width int
+	// Bidirectional channels are tested in both transfer directions (8N MA
+	// tests); unidirectional ones only forward (4N).
+	Bidirectional bool
+	// Role classifies the traffic the channel carries.
+	Role Role
+}
+
+// Topology is a target's set of testable channels. The slice index is the
+// channel ID — the core.BusID the whole stack keys traces, outcomes, and
+// plans by.
+type Topology struct {
+	Channels []ChannelDesc
+}
+
+// Channel resolves a channel name to its ID.
+func (t Topology) Channel(name string) (core.BusID, bool) {
+	for i, ch := range t.Channels {
+		if ch.Name == name {
+			return core.BusID(i), true
+		}
+	}
+	return 0, false
+}
+
+// Names lists the channel names in ID order.
+func (t Topology) Names() []string {
+	out := make([]string, len(t.Channels))
+	for i, ch := range t.Channels {
+		out[i] = ch.Name
+	}
+	return out
+}
+
+// BusModel bundles one channel's electrical description: a (possibly
+// perturbed) crosstalk parameter set and the fixed detectability thresholds
+// derived from the nominal geometry.
+type BusModel struct {
+	Nominal    *crosstalk.Params
+	Thresholds crosstalk.Thresholds
+}
+
+// GenSpec configures plan generation on a target.
+type GenSpec struct {
+	// Compaction sums responses instead of storing one per test, where the
+	// backend supports it (§4.3 for Parwan; scripted targets ignore it).
+	Compaction bool
+	// MaxSessions bounds follow-up sessions; zero selects the backend
+	// default.
+	MaxSessions int
+	// OnlyChannel restricts generation to one channel's tests by name; empty
+	// generates tests for every channel.
+	OnlyChannel string
+	// Filter, when non-nil, restricts generation to the faults it accepts.
+	Filter func(maf.Fault) bool
+}
+
+// BusStep is one transaction's transition on a single channel: the word the
+// channel held before, the word driven, and the drive direction. Sequences
+// of BusSteps are what the replay tier pushes through defective channels.
+type BusStep struct {
+	Prev, Next logic.Word
+	Dir        maf.Direction
+}
+
+// RunResult is one session program execution's observable outcome.
+type RunResult struct {
+	Responses map[uint16]uint8 // response-cell contents after the run
+	Halted    bool             // reached the clean end of the program
+	ExecErr   error            // illegal opcode (possible under corruption)
+	Steps     int
+	Cycles    uint64
+	// Events counts crosstalk error events on any channel during the run —
+	// how many times a defect was activated.
+	Events int
+}
+
+// Core abstracts the execution machinery of one plan on one target: the
+// golden (defect-free) reference runs with trace capture, full defective
+// re-execution, and snapshot-resumed execution from a divergence point. A
+// Core is built per plan, is read-only after its golden runs, and must be
+// safe for concurrent Run/Resume calls.
+type Core interface {
+	// Golden executes session s on the nominal channels with tracing,
+	// returning the result and the per-channel transition sequences (indexed
+	// by channel ID). It records whatever internal state Resume later needs.
+	// Called once per session, in order, before any defective run.
+	Golden(s int) (RunResult, [][]BusStep, error)
+	// Run executes session s in full with channel ch's parameters replaced
+	// by the defective set and every other channel nominal — the paper's
+	// Fig. 9 reference flow.
+	Run(s int, ch core.BusID, defective *crosstalk.Params) (RunResult, error)
+	// Resume re-executes session s with channel ch routed through defCh,
+	// starting from recorded golden state at (or before) transaction
+	// divergeTx. The caller guarantees every transaction before divergeTx
+	// transfers cleanly through defCh, so Resume must produce exactly the
+	// RunResult a full Run would.
+	Resume(s int, ch core.BusID, defCh *crosstalk.Channel, divergeTx int) (RunResult, error)
+	// MemoStats returns the cumulative transmit-memo hit/miss counters of
+	// the nominal channels the core's execution machinery uses.
+	MemoStats() (hits, misses uint64)
+}
+
+// Target is one pluggable system under test.
+type Target interface {
+	// Name is the target descriptor ("parwan", "widebus32", ...) — what a
+	// campaign spec's target field and the -target flag select, and what
+	// generated plans are stamped with.
+	Name() string
+	// Topology describes the testable channels.
+	Topology() Topology
+	// BusModels derives the per-channel nominal electrical models for a
+	// detectability-threshold factor (0 selects the default), indexed by
+	// channel ID.
+	BusModels(cthFactor float64) ([]BusModel, error)
+	// Generate builds the MA self-test plan.
+	Generate(spec GenSpec) (*core.Plan, error)
+	// NewCore builds the execution machinery for one plan over the given
+	// per-channel models (as returned by BusModels).
+	NewCore(plan *core.Plan, models []BusModel) (Core, error)
+}
+
+// Parse resolves a target descriptor: "parwan" (the default; empty selects
+// it) or "widebusN" for a synthetic N-wire scripted bus, e.g. "widebus32".
+func Parse(s string) (Target, error) {
+	switch {
+	case s == "" || s == "parwan":
+		return Parwan(), nil
+	case strings.HasPrefix(s, "widebus"):
+		n, err := strconv.Atoi(strings.TrimPrefix(s, "widebus"))
+		if err != nil {
+			return nil, fmt.Errorf("target: bad wide-bus descriptor %q (want e.g. widebus32)", s)
+		}
+		return WideBus(n)
+	default:
+		return nil, fmt.Errorf("target: unknown target %q (want parwan or widebusN)", s)
+	}
+}
+
+// checkModels verifies a BusModels slice matches the target's topology.
+func checkModels(t Target, models []BusModel) error {
+	topo := t.Topology()
+	if len(models) != len(topo.Channels) {
+		return fmt.Errorf("target: %s wants %d channel models, got %d",
+			t.Name(), len(topo.Channels), len(models))
+	}
+	for i, m := range models {
+		if m.Nominal == nil {
+			return fmt.Errorf("target: %s channel %s has no nominal parameters", t.Name(), topo.Channels[i].Name)
+		}
+		if m.Nominal.Width != topo.Channels[i].Width {
+			return fmt.Errorf("target: %s channel %s is %d wires, model has %d",
+				t.Name(), topo.Channels[i].Name, topo.Channels[i].Width, m.Nominal.Width)
+		}
+	}
+	return nil
+}
+
+// checkPlanTarget verifies a plan was generated for (or is compatible with)
+// the target.
+func checkPlanTarget(t Target, plan *core.Plan) error {
+	if plan.TargetName() != t.Name() {
+		return fmt.Errorf("target: plan was generated for %s, not %s", plan.TargetName(), t.Name())
+	}
+	return nil
+}

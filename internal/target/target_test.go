@@ -1,0 +1,234 @@
+package target
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/logic"
+	"repro/internal/maf"
+)
+
+func TestParse(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		name string
+	}{
+		{"", "parwan"},
+		{"parwan", "parwan"},
+		{"widebus16", "widebus16"},
+		{"widebus64", "widebus64"},
+	} {
+		tgt, err := Parse(tc.in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", tc.in, err)
+		}
+		if tgt.Name() != tc.name {
+			t.Errorf("Parse(%q).Name() = %q, want %q", tc.in, tgt.Name(), tc.name)
+		}
+	}
+	for _, bad := range []string{"widebus", "widebus1", "widebus65", "widebusx", "i8051"} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) accepted an invalid descriptor", bad)
+		}
+	}
+}
+
+func TestParwanTopology(t *testing.T) {
+	topo := Parwan().Topology()
+	if len(topo.Channels) != 2 {
+		t.Fatalf("parwan has %d channels, want 2", len(topo.Channels))
+	}
+	// The channel IDs must coincide with core.BusID: the plan format, the
+	// report JSON and the byte-identity tests all depend on data=0, addr=1.
+	if id, ok := topo.Channel("data"); !ok || id != core.DataBus {
+		t.Errorf("data channel id = %v, want %v", id, core.DataBus)
+	}
+	if id, ok := topo.Channel("addr"); !ok || id != core.AddrBus {
+		t.Errorf("addr channel id = %v, want %v", id, core.AddrBus)
+	}
+	data := topo.Channels[core.DataBus]
+	if data.Width != 8 || !data.Bidirectional || data.Role != RoleData {
+		t.Errorf("data channel = %+v, want 8-wire bidirectional data", data)
+	}
+	addr := topo.Channels[core.AddrBus]
+	if addr.Width != 12 || addr.Bidirectional || addr.Role != RoleAddress {
+		t.Errorf("addr channel = %+v, want 12-wire unidirectional address", addr)
+	}
+	if _, ok := topo.Channel("bus"); ok {
+		t.Error("parwan resolved a channel it does not have")
+	}
+}
+
+func TestBusModelsMatchTopology(t *testing.T) {
+	for _, name := range []string{"parwan", "widebus16", "widebus64"} {
+		tgt, err := Parse(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		models, err := tgt.BusModels(0)
+		if err != nil {
+			t.Fatalf("%s: BusModels: %v", name, err)
+		}
+		if err := checkModels(tgt, models); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// TestWideBusGenerate pins the scripted plan's structure: exactly 4N tests
+// (the MAF universe of a unidirectional N-wire bus), two script steps per
+// test carrying the MA vector pair verbatim, and response cells that tile
+// the script at one stride (= ceil(N/8) bytes) per step.
+func TestWideBusGenerate(t *testing.T) {
+	for _, width := range []int{8, 16, 32, 64} {
+		tgt, err := WideBus(width)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plan, err := tgt.Generate(GenSpec{})
+		if err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		if plan.TargetName() != tgt.Name() {
+			t.Errorf("width %d: plan target %q", width, plan.TargetName())
+		}
+		if len(plan.Channels) != 1 || plan.Channels[0] != "bus" {
+			t.Errorf("width %d: plan channels %v, want [bus]", width, plan.Channels)
+		}
+		if len(plan.Programs) != 1 {
+			t.Fatalf("width %d: %d programs, want 1", width, len(plan.Programs))
+		}
+		prog := plan.Programs[0]
+		if got, want := len(prog.Applied), 4*width; got != want {
+			t.Errorf("width %d: %d applied tests, want 4N = %d", width, got, want)
+		}
+		if got, want := len(prog.Script), 2*len(prog.Applied); got != want {
+			t.Errorf("width %d: script has %d steps, want %d", width, got, want)
+		}
+		if prog.ScriptWidth != width {
+			t.Errorf("width %d: script width %d", width, prog.ScriptWidth)
+		}
+		if prog.Image != nil {
+			t.Errorf("width %d: scripted program carries a memory image", width)
+		}
+		stride := (width + 7) / 8
+		if got, want := len(prog.ResponseCells), len(prog.Script)*stride; got != want {
+			t.Errorf("width %d: %d response cells, want %d", width, got, want)
+		}
+		for i, c := range prog.ResponseCells {
+			if int(c) != i {
+				t.Fatalf("width %d: response cell %d = %d, want ascending identity", width, i, c)
+			}
+		}
+		for i, a := range prog.Applied {
+			if v1 := prog.Script[2*i]; v1 != a.MA.V1.Uint64() {
+				t.Fatalf("width %d test %d: script V1 %#x != MA V1 %#x", width, i, v1, a.MA.V1.Uint64())
+			}
+			if v2 := prog.Script[2*i+1]; v2 != a.MA.V2.Uint64() {
+				t.Fatalf("width %d test %d: script V2 %#x != MA V2 %#x", width, i, v2, a.MA.V2.Uint64())
+			}
+			if a.Scheme != core.ScriptDirect || a.Bus != 0 {
+				t.Fatalf("width %d test %d: scheme %v bus %v", width, i, a.Scheme, a.Bus)
+			}
+			if len(a.ResponseCells) != 2*stride {
+				t.Fatalf("width %d test %d: %d response cells, want %d", width, i, len(a.ResponseCells), 2*stride)
+			}
+		}
+	}
+}
+
+func TestWideBusGenerateFilter(t *testing.T) {
+	tgt, err := WideBus(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tgt.Generate(GenSpec{Filter: func(f maf.Fault) bool { return f.Victim == 3 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(plan.Programs[0].Applied); got != 4 {
+		t.Errorf("filtered plan has %d tests, want 4 (one per kind for the victim)", got)
+	}
+	if _, err := tgt.Generate(GenSpec{OnlyChannel: "addr"}); err == nil {
+		t.Error("Generate accepted a channel the wide bus does not have")
+	}
+}
+
+// TestWideBusGoldenClean drives the golden run and checks that the response
+// memory holds exactly the driven script words: the nominal channel must
+// transfer every MA pattern cleanly, and the fill layout must be the
+// little-endian stride encoding the plan's response cells promise.
+func TestWideBusGoldenClean(t *testing.T) {
+	const width = 32
+	tgt, err := WideBus(width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := tgt.Generate(GenSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := tgt.BusModels(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := tgt.NewCore(plan, models)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, steps, err := c.Golden(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Halted || res.Events != 0 {
+		t.Fatalf("golden run: halted=%v events=%d", res.Halted, res.Events)
+	}
+	prog := plan.Programs[0]
+	stride := (width + 7) / 8
+	for s, word := range prog.Script {
+		for b := 0; b < stride; b++ {
+			want := uint8(word >> (8 * b))
+			if got := res.Responses[uint16(s*stride+b)]; got != want {
+				t.Fatalf("step %d byte %d: response %#x, want %#x", s, b, got, want)
+			}
+		}
+	}
+	bus := steps[0]
+	if len(bus) != len(prog.Script) {
+		t.Fatalf("golden trace has %d steps, want %d", len(bus), len(prog.Script))
+	}
+	for s := range bus {
+		var prev logic.Word
+		if s == 0 {
+			prev = logic.NewWord(0, width)
+		} else {
+			prev = logic.NewWord(prog.Script[s-1], width)
+		}
+		if bus[s].Prev != prev || bus[s].Next != logic.NewWord(prog.Script[s], width) {
+			t.Fatalf("step %d: trace (%v -> %v)", s, bus[s].Prev, bus[s].Next)
+		}
+		if bus[s].Dir != maf.Forward {
+			t.Fatalf("step %d: direction %v on a unidirectional bus", s, bus[s].Dir)
+		}
+	}
+}
+
+func TestCheckPlanTargetMismatch(t *testing.T) {
+	wb, err := WideBus(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := wb.Generate(GenSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	models, err := Parwan().BusModels(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Parwan().NewCore(plan, models)
+	if err == nil || !strings.Contains(err.Error(), "generated for widebus16") {
+		t.Errorf("parwan accepted a widebus16 plan: %v", err)
+	}
+}

@@ -1,0 +1,235 @@
+package target
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/crosstalk"
+	"repro/internal/logic"
+	"repro/internal/maf"
+)
+
+// wideBusTarget is a synthetic system: one unidirectional bus of 2..64 wires
+// driven by a scripted initiator. There is no CPU — the "program" is the
+// exact word sequence the initiator drives, so every MA test is applicable
+// (no placement constraints, no address conflicts) and the response is the
+// word the receiver latches at each step. It exists to prove the 4N MA-test
+// method and the two-tier engine generalize past the paper's Parwan buses,
+// and to exercise widths the packed transmit memo cannot cover.
+type wideBusTarget struct {
+	width int
+}
+
+// WideBus returns a synthetic scripted-bus backend of the given wire count.
+func WideBus(width int) (Target, error) {
+	if width < 2 || width > 64 {
+		return nil, fmt.Errorf("target: wide-bus width %d out of range [2,64]", width)
+	}
+	return wideBusTarget{width: width}, nil
+}
+
+// MustWideBus is WideBus for a statically known valid width; it panics on a
+// bad one. For tests and examples.
+func MustWideBus(width int) Target {
+	t, err := WideBus(width)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+func (t wideBusTarget) Name() string { return fmt.Sprintf("widebus%d", t.width) }
+
+func (t wideBusTarget) Topology() Topology {
+	return Topology{Channels: []ChannelDesc{
+		{Name: "bus", Width: t.width, Bidirectional: false, Role: RoleBus},
+	}}
+}
+
+func (t wideBusTarget) BusModels(cthFactor float64) ([]BusModel, error) {
+	n := crosstalk.Nominal(t.width)
+	th, err := crosstalk.DeriveThresholds(n, cthFactor)
+	if err != nil {
+		return nil, err
+	}
+	return []BusModel{{Nominal: n, Thresholds: th}}, nil
+}
+
+// stride is the number of response cells (bytes) one script step occupies.
+func (t wideBusTarget) stride() int { return (t.width + 7) / 8 }
+
+// Generate builds the scripted plan: each MA test contributes its (v1, v2)
+// pair as two consecutive script steps, and observes the receiver's latched
+// word at both. Compaction does not apply to a scripted initiator (there is
+// no accumulator); the flag is ignored and the plan records it false.
+func (t wideBusTarget) Generate(spec GenSpec) (*core.Plan, error) {
+	if spec.OnlyChannel != "" && spec.OnlyChannel != "bus" {
+		return nil, fmt.Errorf("target: %s has no channel %q (its only channel is bus)", t.Name(), spec.OnlyChannel)
+	}
+	stride := t.stride()
+	prog := &core.TestProgram{Session: 0, ScriptWidth: t.width}
+	for _, mt := range maf.Tests(t.width, false) {
+		if spec.Filter != nil && !spec.Filter(mt.Fault) {
+			continue
+		}
+		step := len(prog.Script)
+		cells := make([]uint16, 0, 2*stride)
+		for s := step; s < step+2; s++ {
+			for b := 0; b < stride; b++ {
+				cells = append(cells, uint16(s*stride+b))
+			}
+		}
+		prog.Applied = append(prog.Applied, core.AppliedTest{
+			MA: mt, Bus: 0, Scheme: core.ScriptDirect,
+			Order: len(prog.Applied), ResponseCells: cells,
+		})
+		prog.Script = append(prog.Script, mt.V1.Uint64(), mt.V2.Uint64())
+	}
+	prog.StepLimit = len(prog.Script)
+	prog.ResponseCells = make([]uint16, len(prog.Script)*stride)
+	for i := range prog.ResponseCells {
+		prog.ResponseCells[i] = uint16(i)
+	}
+	return &core.Plan{
+		Programs: []*core.TestProgram{prog},
+		Target:   t.Name(),
+		Channels: []string{"bus"},
+	}, nil
+}
+
+func (t wideBusTarget) NewCore(plan *core.Plan, models []BusModel) (Core, error) {
+	if err := checkPlanTarget(t, plan); err != nil {
+		return nil, err
+	}
+	if err := checkModels(t, models); err != nil {
+		return nil, err
+	}
+	for _, prog := range plan.Programs {
+		if prog.Script == nil && len(prog.Applied) > 0 {
+			return nil, fmt.Errorf("target: %s session %d has no script", t.Name(), prog.Session)
+		}
+		if prog.ScriptWidth != t.width {
+			return nil, fmt.Errorf("target: %s session %d script is %d wires, target has %d",
+				t.Name(), prog.Session, prog.ScriptWidth, t.width)
+		}
+	}
+	return &wideBusCore{
+		width:  t.width,
+		stride: t.stride(),
+		model:  models[0],
+		plan:   plan,
+		golden: make([][]logic.Word, len(plan.Programs)),
+	}, nil
+}
+
+// wideBusCore executes scripted sessions by pure channel arithmetic: the
+// initiator drives each script word in order and the receiver's latched word
+// is the response. The word held on the bus before step s is always the word
+// driven at step s-1 (the initiator holds its line), so defective reception
+// never perturbs later transitions — the whole run is a fold over the script.
+type wideBusCore struct {
+	width  int
+	stride int
+	model  BusModel
+	plan   *core.Plan
+
+	// golden[s] is session s's received word per step, recorded by Golden.
+	golden [][]logic.Word
+}
+
+// drive transmits script steps [from, len) through ch, with prev the word
+// held on the bus entering step from, storing each received word via emit.
+// Returns the total crosstalk error events.
+func (c *wideBusCore) drive(prog *core.TestProgram, ch *crosstalk.Channel, from int, emit func(step int, recv logic.Word)) int {
+	prev := logic.NewWord(0, c.width)
+	if from > 0 {
+		prev = logic.NewWord(prog.Script[from-1], c.width)
+	}
+	events := 0
+	for s := from; s < len(prog.Script); s++ {
+		next := logic.NewWord(prog.Script[s], c.width)
+		recv, evs := ch.Transmit(prev, next, maf.Forward)
+		events += len(evs)
+		emit(s, recv)
+		prev = next
+	}
+	return events
+}
+
+// fill writes one step's received word into its response cells, least
+// significant byte first.
+func (c *wideBusCore) fill(res map[uint16]uint8, step int, recv logic.Word) {
+	v := recv.Uint64()
+	for b := 0; b < c.stride; b++ {
+		res[uint16(step*c.stride+b)] = uint8(v >> (8 * b))
+	}
+}
+
+// result wraps the response map in the fixed scripted-run frame: a scripted
+// initiator cannot crash or hang, so every run halts after exactly the
+// script's steps.
+func (c *wideBusCore) result(prog *core.TestProgram, res map[uint16]uint8, events int) RunResult {
+	return RunResult{
+		Responses: res,
+		Halted:    true,
+		Steps:     len(prog.Script),
+		Cycles:    uint64(len(prog.Script)),
+		Events:    events,
+	}
+}
+
+func (c *wideBusCore) Golden(s int) (RunResult, [][]BusStep, error) {
+	prog := c.plan.Programs[s]
+	ch, err := crosstalk.NewChannel(c.model.Nominal, c.model.Thresholds)
+	if err != nil {
+		return RunResult{}, nil, err
+	}
+	res := make(map[uint16]uint8, len(prog.ResponseCells))
+	recvs := make([]logic.Word, 0, len(prog.Script))
+	steps := make([]BusStep, 0, len(prog.Script))
+	prev := logic.NewWord(0, c.width)
+	events := c.drive(prog, ch, 0, func(step int, recv logic.Word) {
+		next := logic.NewWord(prog.Script[step], c.width)
+		steps = append(steps, BusStep{Prev: prev, Next: next, Dir: maf.Forward})
+		prev = next
+		recvs = append(recvs, recv)
+		c.fill(res, step, recv)
+	})
+	c.golden[s] = recvs
+	return c.result(prog, res, events), [][]BusStep{steps}, nil
+}
+
+func (c *wideBusCore) Run(s int, chID core.BusID, defective *crosstalk.Params) (RunResult, error) {
+	if chID != 0 {
+		return RunResult{}, fmt.Errorf("target: %s has no channel %d", c.plan.TargetName(), chID)
+	}
+	prog := c.plan.Programs[s]
+	ch, err := crosstalk.NewChannel(defective, c.model.Thresholds)
+	if err != nil {
+		return RunResult{}, err
+	}
+	res := make(map[uint16]uint8, len(prog.ResponseCells))
+	events := c.drive(prog, ch, 0, func(step int, recv logic.Word) {
+		c.fill(res, step, recv)
+	})
+	return c.result(prog, res, events), nil
+}
+
+func (c *wideBusCore) Resume(s int, chID core.BusID, defCh *crosstalk.Channel, divergeTx int) (RunResult, error) {
+	if chID != 0 {
+		return RunResult{}, fmt.Errorf("target: %s has no channel %d", c.plan.TargetName(), chID)
+	}
+	prog := c.plan.Programs[s]
+	res := make(map[uint16]uint8, len(prog.ResponseCells))
+	// Steps before the divergence transferred cleanly (the replay proved it),
+	// so their received words are the golden ones.
+	for step := 0; step < divergeTx && step < len(c.golden[s]); step++ {
+		c.fill(res, step, c.golden[s][step])
+	}
+	events := c.drive(prog, defCh, divergeTx, func(step int, recv logic.Word) {
+		c.fill(res, step, recv)
+	})
+	return c.result(prog, res, events), nil
+}
+
+func (c *wideBusCore) MemoStats() (hits, misses uint64) { return 0, 0 }

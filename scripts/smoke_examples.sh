@@ -1,0 +1,22 @@
+#!/bin/sh
+# smoke_examples.sh builds and runs every examples/* binary with its
+# default flags, so a refactor that breaks an example's API usage — or an
+# example that starts crashing at runtime — fails CI rather than rotting
+# silently. Each example is self-contained and fast (seconds) by design;
+# anything that needs external state must not live under examples/.
+#
+# Usage: scripts/smoke_examples.sh
+set -eu
+
+cd "$(dirname "$0")/.."
+
+status=0
+for dir in examples/*/; do
+    name=$(basename "$dir")
+    printf '== %s\n' "$name"
+    if ! go run "./$dir" >/dev/null; then
+        printf '** example %s failed\n' "$name" >&2
+        status=1
+    fi
+done
+exit $status

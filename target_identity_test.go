@@ -1,0 +1,90 @@
+// Pins the parwan backend's report bytes across the target-backend
+// refactor: the SHA-256 hashes below were recorded from the pre-refactor
+// tree (PR 6 head) for the E5 campaign, diagnose, and minimize reports on
+// the address bus, and the refactored stack must reproduce them exactly.
+package repro_test
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/report"
+)
+
+// Pre-refactor report hashes, keyed by "type/size". Size 120 is the -short
+// library, 1000 the paper's E5 library; all on the addr bus, seed 3001.
+var preRefactorHashes = map[string]string{
+	"campaign/120":  "b95c7413e61ea7112f6f6b7f5acaeb6b20ce6d84c7fb1a1186b1d5c88cc27063",
+	"diagnose/120":  "bc1d86c300742886ce8e5c42988502f14d11a1dc8db95dc459e437216867d4ab",
+	"minimize/120":  "397e71788078fa616b759678cf63e7f5d5a2c3d7e973cdf9353fd83aa2884337",
+	"campaign/1000": "6523080db5754322a5124d85db2c40f5b5e31bf8b0f7ab23fae0106182d4a5e3",
+	"diagnose/1000": "52e2569633dd0b98ff0633c2de5972ef7646fa799a3a60b17f376db834240e5b",
+	"minimize/1000": "e2fbe981e386b0badf990e64efb8eb2ea7955be2b7a2cfcb7718283c403b4d0f",
+}
+
+// renderJob runs one job on a fresh manager and renders its report document.
+func renderJob(t *testing.T, spec campaign.Spec) []byte {
+	t.Helper()
+	m := campaign.New(campaign.Config{})
+	job, err := m.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-job.Done()
+	if err := job.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	switch spec.JobType() {
+	case campaign.TypeCampaign:
+		res, width, ok := job.Result()
+		if !ok {
+			t.Fatal("campaign job produced no result")
+		}
+		if err := report.WriteCampaignJSON(&buf, res, width); err != nil {
+			t.Fatal(err)
+		}
+	case campaign.TypeDiagnose:
+		an, ok := job.Analysis()
+		if !ok {
+			t.Fatal("diagnose job produced no analysis")
+		}
+		if err := report.WriteDiagnosisJSON(&buf, an.Diagnosis); err != nil {
+			t.Fatal(err)
+		}
+	case campaign.TypeMinimize:
+		an, ok := job.Analysis()
+		if !ok {
+			t.Fatal("minimize job produced no analysis")
+		}
+		if err := report.WriteMinimizeJSON(&buf, an.Minimize); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+func TestParwanReportsByteIdenticalToPreRefactor(t *testing.T) {
+	size := 1000
+	if testing.Short() {
+		size = 120
+	}
+	for _, typ := range []string{campaign.TypeCampaign, campaign.TypeDiagnose, campaign.TypeMinimize} {
+		typ := typ
+		t.Run(typ, func(t *testing.T) {
+			spec := campaign.Spec{Bus: "addr", Size: size, Seed: 3001}
+			if typ != campaign.TypeCampaign {
+				spec.Type = typ
+			}
+			doc := renderJob(t, spec)
+			got := fmt.Sprintf("%x", sha256.Sum256(doc))
+			want := preRefactorHashes[fmt.Sprintf("%s/%d", typ, size)]
+			if got != want {
+				t.Errorf("%s report hash %s, want pre-refactor %s", typ, got, want)
+			}
+		})
+	}
+}
