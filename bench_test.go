@@ -26,6 +26,7 @@ import (
 	"repro/internal/parwan"
 	"repro/internal/report"
 	"repro/internal/sim"
+	"repro/internal/target"
 	"repro/internal/tester"
 	"repro/internal/workload"
 )
@@ -220,6 +221,9 @@ func benchE5Engine(b *testing.B, eng sim.Engine) {
 	st := r.Stats()
 	b.ReportMetric(float64(st.ReplayHits)/float64(b.N), "replay-hits/op")
 	b.ReportMetric(float64(st.Fallbacks)/float64(b.N), "fallbacks/op")
+	if st.BatchScreened > 0 {
+		b.ReportMetric(float64(st.BatchScreened)/float64(b.N), "batch-screened/op")
+	}
 	if st.MemoHits+st.MemoMisses > 0 {
 		b.ReportMetric(float64(st.MemoHits)/float64(st.MemoHits+st.MemoMisses)*100, "memo-hit-%")
 	}
@@ -234,6 +238,53 @@ func BenchmarkE5_EngineExecute(b *testing.B) { benchE5Engine(b, sim.Execute) }
 // (trace replay, memoized channels, pooled systems, snapshot-resumed
 // execution fallback) — byte-identical results to Execute.
 func BenchmarkE5_EngineAuto(b *testing.B) { benchE5Engine(b, sim.Auto) }
+
+// BenchmarkE5_EngineBatch measures the E5 campaign under the batched
+// library-wide screening engine (one survivor-mask sweep per session trace,
+// resumed execution only for divergent (defect, session) pairs) — the
+// BENCH_PR8.json comparison against BenchmarkE5_EngineAuto, byte-identical
+// results to both Auto and Execute.
+func BenchmarkE5_EngineBatch(b *testing.B) { benchE5Engine(b, sim.Batch) }
+
+// benchWideBusEngine runs a wide-bus campaign under one engine — the second
+// target axis of the BENCH_PR8.json comparison, at a width (64 wires) where
+// the batch kernel's structure-of-arrays walk has the most wires per step.
+func benchWideBusEngine(b *testing.B, eng sim.Engine) {
+	tgt := target.MustWideBus(64)
+	plan, err := tgt.Generate(target.GenSpec{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	models, err := tgt.BusModels(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r, err := sim.NewTargetRunner(tgt, plan, models)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := defects.Generate(models[0].Nominal, models[0].Thresholds,
+		defects.Config{Size: benchLibrarySize, Seed: 4064})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := sim.CampaignOpts{Engine: eng}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.CampaignCtx(context.Background(), core.BusID(0), lib, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	st := r.Stats()
+	b.ReportMetric(float64(st.ReplayHits)/float64(b.N), "replay-hits/op")
+	b.ReportMetric(float64(st.Fallbacks)/float64(b.N), "fallbacks/op")
+}
+
+// BenchmarkWideBus64_EngineAuto and BenchmarkWideBus64_EngineBatch compare
+// per-defect replay against the batched sweep on the 64-wire scripted bus.
+func BenchmarkWideBus64_EngineAuto(b *testing.B)  { benchWideBusEngine(b, sim.Auto) }
+func BenchmarkWideBus64_EngineBatch(b *testing.B) { benchWideBusEngine(b, sim.Batch) }
 
 // BenchmarkE5_Fleet4Workers measures the same E5 campaign dispatched by a
 // fleet coordinator across 4 in-process worker nodes (HTTP shard transfer

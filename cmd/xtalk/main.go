@@ -7,9 +7,9 @@
 //	xtalk gen     [-compaction] [-sessions N] [-listing]
 //	xtalk params  [-width N] [-cth F] [-o file]
 //	xtalk defects [-target T] [-bus name] [-size N] [-sigma S] [-seed N]
-//	xtalk sim     [-target T] [-bus name] [-size N] [-seed N] [-compaction] [-engine auto|execute|replay]
+//	xtalk sim     [-target T] [-bus name] [-size N] [-seed N] [-compaction] [-engine auto|execute|replay|batch]
 //	              [-workers url1,url2,...] [-shards N] [-trace out.ndjson]
-//	xtalk fig11   [-size N] [-seed N] [-csv] [-engine auto|execute|replay]
+//	xtalk fig11   [-size N] [-seed N] [-csv] [-engine auto|execute|replay|batch]
 //	xtalk compare [-size N] [-seed N]
 //	xtalk diagnose [-target T] [-bus name] [-size N] [-seed N] [-signature "dr[3]/fwd,..."] [-o out.json] [-workers ...]
 //	xtalk minimize [-target T] [-bus name] [-size N] [-seed N] [-o out.json] [-workers ...]
@@ -263,7 +263,7 @@ func cmdSim(args []string) error {
 	seed := fs.Int64("seed", 1, "random seed")
 	compaction := fs.Bool("compaction", false, "compact responses")
 	planFile := fs.String("plan", "", "load a previously saved plan instead of generating")
-	engine := fs.String("engine", "auto", "simulation engine: auto, execute, or replay")
+	engine := fs.String("engine", "auto", "simulation engine: auto, execute, replay, or batch")
 	workers := fs.String("workers", "", "comma-separated fleet worker base URLs; runs the campaign distributed")
 	shards := fs.Int("shards", 0, "fleet shard count (0 = 4 per worker)")
 	traceOut := fs.String("trace", "", "write the run's spans as NDJSON to this file")
@@ -402,9 +402,16 @@ func printEngineStats(eng sim.Engine, r *sim.Runner) {
 	case sim.Replay:
 		fmt.Printf("engine %s: %d replay-resolved, %d screened as detected, %d executed\n",
 			eng, st.ReplayHits, st.Screened, st.Executes)
+	case sim.Batch:
+		fmt.Printf("engine %s: %d swept clean in %d sweeps, %d divergence fallbacks, %d full executions\n",
+			eng, st.BatchScreened, st.BatchSweeps, st.Fallbacks, st.Executes)
 	default:
 		fmt.Printf("engine %s: %d replay-resolved, %d divergence fallbacks, %d full executions\n",
 			eng, st.ReplayHits, st.Fallbacks, st.Executes)
+	}
+	if st.DegradedExecutes > 0 {
+		fmt.Printf("engine %s: %d runs degraded to full execution (golden traffic errs; replay unsound)\n",
+			eng, st.DegradedExecutes)
 	}
 	if total := st.MemoHits + st.MemoMisses; total > 0 {
 		fmt.Printf("channel memo: %d/%d transmit hits (%.1f%%)\n",
@@ -418,7 +425,7 @@ func cmdFig11(args []string) error {
 	size := fs.Int("size", defects.DefaultLibrarySize, "defect library size")
 	seed := fs.Int64("seed", 1, "random seed")
 	csv := fs.Bool("csv", false, "emit CSV instead of a chart")
-	engine := fs.String("engine", "auto", "simulation engine: auto, execute, or replay")
+	engine := fs.String("engine", "auto", "simulation engine: auto, execute, replay, or batch")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}

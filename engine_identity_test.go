@@ -81,8 +81,30 @@ func TestEngineByteIdentityE5(t *testing.T) {
 				}
 				t.Fatalf("campaign JSON lengths differ: execute %d, auto %d", len(exec), len(auto))
 			}
-			t.Logf("%s bus: %d defects, %d bytes of campaign JSON byte-identical across engines",
-				bc.name, size, len(exec))
+			before := r.Stats()
+			batch := render(sim.Batch)
+			if !bytes.Equal(exec, batch) {
+				t.Fatalf("batch campaign JSON differs from execute (%d vs %d bytes)", len(batch), len(exec))
+			}
+			// The batched sweep must keep the whole library out of the full
+			// Execute tier: clean defects are screened in O(1), divergent ones
+			// resume execution as fallbacks, and nothing else runs.
+			after := r.Stats()
+			if d := after.Executes - before.Executes; d != 0 {
+				t.Errorf("batch campaign performed %d full Execute runs, want 0", d)
+			}
+			screened := after.BatchScreened - before.BatchScreened
+			fallbacks := after.Fallbacks - before.Fallbacks
+			if screened+fallbacks != int64(size) {
+				t.Errorf("batch accounting: screened %d + fallbacks %d != %d defects",
+					screened, fallbacks, size)
+			}
+			if sweeps := after.BatchSweeps - before.BatchSweeps; sweeps != int64(len(plan.Programs)) {
+				t.Errorf("batch performed %d sweeps, want one per session (%d)",
+					sweeps, len(plan.Programs))
+			}
+			t.Logf("%s bus: %d defects, %d bytes of campaign JSON byte-identical across engines (%d batch-screened)",
+				bc.name, size, len(exec), screened)
 		})
 	}
 }

@@ -78,8 +78,9 @@ type Spec struct {
 	Workers int `json:"workers,omitempty"`
 	// Engine selects the simulation engine: "auto" (trace replay with
 	// execution fallback, exact), "execute" (full execution for every
-	// defect), or "replay" (screening only; see sim.Replay). Empty selects
-	// "auto".
+	// defect), "replay" (screening only; see sim.Replay), or "batch"
+	// (library-wide screening sweep with execution of the divergent
+	// remainder, exact; see sim.Batch). Empty selects "auto".
 	Engine string `json:"engine,omitempty"`
 }
 
@@ -556,6 +557,12 @@ func New(cfg Config) *Manager {
 		m.engineStat(func(s sim.EngineStats) int64 { return s.Executes }))
 	reg.CounterFunc("xtalkd_engine_screened_total", "replay-engine runs classified from divergence alone",
 		m.engineStat(func(s sim.EngineStats) int64 { return s.Screened }))
+	reg.CounterFunc("xtalkd_engine_degraded_executes_total", "replay-engine requests degraded to execution (replay precondition void)",
+		m.engineStat(func(s sim.EngineStats) int64 { return s.DegradedExecutes }))
+	reg.CounterFunc("xtalkd_engine_batch_screened_total", "defects cleared by the batched library-wide screening sweep",
+		m.engineStat(func(s sim.EngineStats) int64 { return s.BatchScreened }))
+	reg.CounterFunc("xtalkd_engine_batch_sweeps_total", "session-trace sweeps performed by the batched screening pass",
+		m.engineStat(func(s sim.EngineStats) int64 { return s.BatchSweeps }))
 	reg.CounterFunc("xtalkd_channel_memo_hits_total", "channel-transmit memo hits",
 		m.engineStat(func(s sim.EngineStats) int64 { return s.MemoHits }))
 	reg.CounterFunc("xtalkd_channel_memo_misses_total", "channel-transmit memo misses",
@@ -624,7 +631,10 @@ func (m *Manager) Metrics() Metrics {
 		eng.ReplayHits += s.ReplayHits
 		eng.Fallbacks += s.Fallbacks
 		eng.Executes += s.Executes
+		eng.DegradedExecutes += s.DegradedExecutes
 		eng.Screened += s.Screened
+		eng.BatchScreened += s.BatchScreened
+		eng.BatchSweeps += s.BatchSweeps
 		eng.MemoHits += s.MemoHits
 		eng.MemoMisses += s.MemoMisses
 		eng.MemoUnsupported += s.MemoUnsupported
@@ -1069,7 +1079,7 @@ func (m *Manager) execute(ctx context.Context, job *Job) (*sim.CampaignResult, *
 			observe(out, d)
 			// One event per job, not per defect: the fact that the replay
 			// tier gave up is interesting; its thousandth repetition is not.
-			if !out.Replayed && opts.Engine == sim.Auto && fellBack.CompareAndSwap(false, true) {
+			if !out.Replayed && (opts.Engine == sim.Auto || opts.Engine == sim.Batch) && fellBack.CompareAndSwap(false, true) {
 				m.obs.Record("engine.fallback", obs.Label{Key: "job", Value: job.id})
 			}
 		}

@@ -1,0 +1,111 @@
+package crosstalk
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/logic"
+	"repro/internal/maf"
+)
+
+// perturbedSets draws n randomized symmetric perturbations of the nominal
+// coupling network (plus the nominal itself as set 0, which must never err
+// against its own thresholds).
+func perturbedSets(t *testing.T, width, n int, seed int64) []*Params {
+	t.Helper()
+	nominal := Nominal(width)
+	rng := rand.New(rand.NewSource(seed))
+	sets := []*Params{nominal}
+	for len(sets) < n {
+		p := nominal.Clone()
+		for a := 0; a < width; a++ {
+			for b := a + 1; b < width; b++ {
+				f := 1 + 0.7*rng.NormFloat64()
+				if f < 0 {
+					f = 0
+				}
+				p.Cc[a][b] *= f
+				p.Cc[b][a] = p.Cc[a][b]
+			}
+		}
+		sets = append(sets, p)
+	}
+	return sets
+}
+
+// TestBatchMatchesChannelTransmit is the batched screening's soundness pin:
+// over random perturbed parameter sets and random transitions, bit d of the
+// batch event mask must be set exactly when Channel.Transmit on set d
+// produces a non-empty event list — the same per-transition divergence
+// verdict the per-defect replay tier reaches, across packed-key (<=31 wires)
+// and wide (>31 wires) widths and both drive directions.
+func TestBatchMatchesChannelTransmit(t *testing.T) {
+	for _, width := range []int{2, 8, 12, 32, 40, 64} {
+		width := width
+		t.Run(fmt.Sprintf("width%d", width), func(t *testing.T) {
+			nominal := Nominal(width)
+			th, err := DeriveThresholds(nominal, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sets := perturbedSets(t, width, 70, int64(90+width))
+			b, err := NewBatch(sets, th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			chans := make([]*Channel, len(sets))
+			for d, p := range sets {
+				if chans[d], err = NewChannel(p, th); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rng := rand.New(rand.NewSource(int64(7 * width)))
+			mask := make([]uint64, b.MaskWords())
+			for step := 0; step < 300; step++ {
+				v1 := logic.NewWord(rng.Uint64(), width)
+				v2 := logic.NewWord(rng.Uint64(), width)
+				if step%17 == 0 {
+					v2 = v1 // exercise the no-edges shortcut
+				}
+				dir := maf.Direction(rng.Intn(2))
+				b.EventMask(v1, v2, dir, mask)
+				for d, ch := range chans {
+					_, events := ch.Transmit(v1, v2, dir)
+					got := mask[d>>6]&(1<<uint(d&63)) != 0
+					if got != (len(events) > 0) {
+						t.Fatalf("width %d step %d set %d: batch says events=%v, channel produced %d events for %v->%v %v",
+							width, step, d, got, len(events), v1, v2, dir)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestBatchValidation covers the constructor's refusals.
+func TestBatchValidation(t *testing.T) {
+	nominal := Nominal(8)
+	th, err := DeriveThresholds(nominal, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewBatch(nil, th); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if _, err := NewBatch([]*Params{nominal, Nominal(12)}, th); err == nil {
+		t.Error("mixed-width batch accepted")
+	}
+	bad := nominal.Clone()
+	bad.Cc[0][1] = -1
+	if _, err := NewBatch([]*Params{nominal, bad}, th); err == nil {
+		t.Error("invalid parameter set accepted")
+	}
+	b, err := NewBatch([]*Params{nominal, nominal.Clone(), nominal.Clone()}, th)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Len() != 3 || b.Width() != 8 || b.MaskWords() != 1 {
+		t.Errorf("batch shape: len=%d width=%d words=%d", b.Len(), b.Width(), b.MaskWords())
+	}
+}

@@ -48,6 +48,8 @@ type memoEntry struct {
 // memoCap bounds a channel's memo so a long-lived memoized channel (e.g. the
 // nominal channel of a campaign service) cannot grow without limit. Past the
 // cap, transmits are still computed correctly but no longer inserted.
+// Each channel carries its own limit (defaulting to this constant) so tests
+// can pin the saturation behaviour with a reachable cap.
 const memoCap = 1 << 20
 
 // Channel transmits bus words through the crosstalk model: a parameter set
@@ -75,6 +77,7 @@ type Channel struct {
 	memo                 map[uint64]memoEntry
 	memoWide             map[wideKey]memoEntry
 	memoOff              bool // EnableMemo requested but the bus is unkeyable
+	memoLimit            int  // max cached entries; memoCap unless overridden by test hook
 	memoHits, memoMisses uint64
 }
 
@@ -127,6 +130,9 @@ func (c *Channel) Width() int { return c.p.Width }
 // representable by logic.Word today) records the refusal — MemoUnsupported —
 // so callers can surface a metric instead of silently losing the cache.
 func (c *Channel) EnableMemo() {
+	if c.memoLimit == 0 {
+		c.memoLimit = memoCap
+	}
 	switch {
 	case c.memo != nil || c.memoWide != nil:
 	case 2*c.p.Width+1 <= 64:
@@ -137,6 +143,11 @@ func (c *Channel) EnableMemo() {
 		c.memoOff = true
 	}
 }
+
+// setMemoCapForTest overrides the memo's insertion cap. Tests use it to
+// reach saturation with a handful of transitions; production channels always
+// run with memoCap. Call before EnableMemo.
+func (c *Channel) setMemoCapForTest(n int) { c.memoLimit = n }
 
 // MemoActive reports whether transmits are currently being memoized.
 func (c *Channel) MemoActive() bool { return c.memo != nil || c.memoWide != nil }
@@ -225,7 +236,7 @@ func (c *Channel) Transmit(v1, v2 logic.Word, dir maf.Direction) (logic.Word, []
 		}
 		c.memoMisses++
 		received, events := c.transmit(v1, v2, dir)
-		if len(c.memo) < memoCap {
+		if len(c.memo) < c.memoLimit {
 			c.memo[k] = memoEntry{received: received, events: events}
 		}
 		return received, events
@@ -238,7 +249,7 @@ func (c *Channel) Transmit(v1, v2 logic.Word, dir maf.Direction) (logic.Word, []
 		}
 		c.memoMisses++
 		received, events := c.transmit(v1, v2, dir)
-		if len(c.memoWide) < memoCap {
+		if len(c.memoWide) < c.memoLimit {
 			c.memoWide[k] = memoEntry{received: received, events: events}
 		}
 		return received, events

@@ -152,6 +152,85 @@ func TestTransmitMatchesAnalyze(t *testing.T) {
 	}
 }
 
+// TestMemoCapSaturation pins the cap behaviour on both key tiers (packed
+// <=31-wire keys and wide struct keys): once the memo holds memoLimit
+// entries it stops inserting — capped-out triples recompute correctly and
+// count as a miss on every visit — while the entries cached before
+// saturation keep hitting.
+func TestMemoCapSaturation(t *testing.T) {
+	const cap = 3
+	for _, tc := range []struct {
+		name  string
+		width int
+	}{
+		{"packed", 8}, // 2*8+1 <= 64: packed uint64 keys
+		{"wide", 40},  // > 31 wires: wideKey struct keys
+	} {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			nominal := Nominal(tc.width)
+			th, err := DeriveThresholds(nominal, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := NewChannel(nominal, th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			plain, err := NewChannel(nominal, th)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c.setMemoCapForTest(cap)
+			c.EnableMemo()
+			if !c.MemoActive() {
+				t.Fatalf("width %d: memo not active after EnableMemo", tc.width)
+			}
+			entries := func() int { return len(c.memo) + len(c.memoWide) }
+
+			// 6 distinct triples: the first cap insert, the rest overflow.
+			words := make([]logic.Word, 7)
+			for i := range words {
+				words[i] = logic.NewWord(uint64(i)*0x2f, tc.width)
+			}
+			for i := 0; i < 6; i++ {
+				gotW, gotE := c.Transmit(words[i], words[i+1], maf.Forward)
+				wantW, wantE := plain.Transmit(words[i], words[i+1], maf.Forward)
+				if gotW != wantW || !reflect.DeepEqual(gotE, wantE) {
+					t.Fatalf("%s step %d: capped memo (%v, %v) != plain (%v, %v)",
+						tc.name, i, gotW, gotE, wantW, wantE)
+				}
+			}
+			if got := entries(); got != cap {
+				t.Fatalf("%s: memo holds %d entries after saturation, want exactly %d", tc.name, got, cap)
+			}
+			if h, m := c.TakeMemoStats(); h != 0 || m != 6 {
+				t.Fatalf("%s: first pass hits=%d misses=%d, want 0/6", tc.name, h, m)
+			}
+
+			// Second pass: cached triples hit; capped-out triples miss again
+			// (and still answer correctly) on every visit.
+			for pass := 0; pass < 2; pass++ {
+				for i := 0; i < 6; i++ {
+					gotW, gotE := c.Transmit(words[i], words[i+1], maf.Forward)
+					wantW, wantE := plain.Transmit(words[i], words[i+1], maf.Forward)
+					if gotW != wantW || !reflect.DeepEqual(gotE, wantE) {
+						t.Fatalf("%s repeat %d/%d: capped memo (%v, %v) != plain (%v, %v)",
+							tc.name, pass, i, gotW, gotE, wantW, wantE)
+					}
+				}
+			}
+			if h, m := c.TakeMemoStats(); h != 2*cap || m != 2*(6-cap) {
+				t.Fatalf("%s: repeat passes hits=%d misses=%d, want %d/%d",
+					tc.name, h, m, 2*cap, 2*(6-cap))
+			}
+			if got := entries(); got != cap {
+				t.Fatalf("%s: memo grew past the cap to %d entries", tc.name, got)
+			}
+		})
+	}
+}
+
 // TestMemoCapStopsInsertionNotCorrectness checks a full memo still computes
 // correct results (entries past the cap are simply not cached).
 func TestMemoCapStopsInsertionNotCorrectness(t *testing.T) {

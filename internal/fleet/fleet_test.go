@@ -92,6 +92,44 @@ func TestFleetByteIdenticalE5(t *testing.T) {
 		size, fs.Shards, len(got))
 }
 
+// TestFleetBatchEngineByteIdentity extends the fleet acceptance to the
+// batched screening engine: each worker batches its own shard's sub-library,
+// and the merged fleet JSON must match both the fleet's Auto rendering and a
+// single-node batched run — on the paper's E5 campaign and on a wide-bus
+// target.
+func TestFleetBatchEngineByteIdentity(t *testing.T) {
+	size := 1000 // the paper's library size
+	if testing.Short() {
+		size = 120
+	}
+	coord, _ := startWorkers(t, 3)
+
+	batchSpec := campaign.Spec{Bus: "addr", Size: size, Seed: 1, Engine: "batch"}
+	autoSpec := batchSpec
+	autoSpec.Engine = "auto"
+	batch, fs := fleetJSON(t, coord, batchSpec, 0)
+	auto, _ := fleetJSON(t, coord, autoSpec, 0)
+	if !bytes.Equal(batch, auto) {
+		t.Fatalf("fleet batch JSON differs from fleet auto (%d vs %d bytes)", len(batch), len(auto))
+	}
+	if single := singleNodeJSON(t, batchSpec); !bytes.Equal(batch, single) {
+		t.Fatalf("fleet batch JSON differs from single-node batch run (%d vs %d bytes)", len(batch), len(single))
+	}
+	if fs.ReplayHits+fs.Executed != size {
+		t.Fatalf("fleet attribution covers %d defects, want %d", fs.ReplayHits+fs.Executed, size)
+	}
+
+	wideBatch := campaign.Spec{Target: "widebus32", Bus: "bus", Size: 160, Seed: 9, Engine: "batch"}
+	wideAuto := wideBatch
+	wideAuto.Engine = "auto"
+	wb, _ := fleetJSON(t, coord, wideBatch, 0)
+	wa, _ := fleetJSON(t, coord, wideAuto, 0)
+	if !bytes.Equal(wb, wa) {
+		t.Fatalf("widebus fleet batch JSON differs from auto (%d vs %d bytes)", len(wb), len(wa))
+	}
+	t.Logf("fleet batch: %d E5 defects + 160 widebus defects byte-identical across engines", size)
+}
+
 // TestFleetWorkerDeathMidCampaign kills one of three workers after it
 // serves its first shard; the coordinator must retry the lost shards on the
 // survivors and still produce the exact single-node bytes.

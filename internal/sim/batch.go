@@ -1,0 +1,170 @@
+package sim
+
+import (
+	"context"
+	"math/bits"
+
+	"repro/internal/core"
+	"repro/internal/crosstalk"
+	"repro/internal/defects"
+	"repro/internal/logic"
+	"repro/internal/maf"
+)
+
+// The batched screening pass inverts the Auto engine's loop nesting at
+// campaign scope. Auto walks, per defect, over every session's golden trace;
+// a library campaign therefore replays each trace once per defect — fine for
+// one defect, wasteful for a thousand, because the overwhelming majority of
+// defects replay every trace cleanly and the walk itself (step decoding, map
+// lookups, channel dispatch) dominates over the verdict arithmetic.
+//
+// batchScreen instead makes ONE walk over each session's golden trace and
+// evaluates ALL library defects per transition through crosstalk.Batch's
+// structure-of-arrays kernel, maintaining a bitset survivor mask: a defect's
+// bit is cleared at its first diverging transition, and the transaction
+// index is recorded so the execution tier can resume exactly where Auto's
+// per-defect replay would have handed over. Defects whose bit survives every
+// session's sweep are proved undetected — the same determinism argument the
+// replay tier rests on — and their Outcome is emitted in O(1) without ever
+// constructing a Channel. Only the divergent (defect, session) pairs reach
+// core.Resume, so the expensive tier does exactly the work Auto would have
+// done, and campaign results stay byte-identical.
+
+// batchPlan is the screening pass's verdict over one (bus, library) pair.
+type batchPlan struct {
+	// first[d] is nil when defect d replayed cleanly through every session
+	// (the O(1) undetected verdict). Otherwise first[d][s] is the index of
+	// session s's first diverging transaction, or -1 when session s's trace
+	// replayed cleanly for this defect (divergence is per (defect, session)).
+	first [][]int32
+}
+
+// transKey identifies one bus transition for the cross-session event-mask
+// memo. Golden traffic revisits a small pool of (prev, next, dir) triples
+// many times — the same locality the per-channel transmit memo exploits —
+// so each distinct transition runs the batch kernel once per campaign.
+type transKey struct {
+	prev, next logic.Word
+	dir        maf.Direction
+}
+
+// batchScreen sweeps every session's golden trace once, classifying each
+// library defect as clean (first[d] == nil) or divergent with per-session
+// first-divergence indexes. One sweep per session is counted in BatchSweeps
+// regardless of library size — the point of inverting the loop.
+func (r *Runner) batchScreen(ctx context.Context, bus core.BusID, lib *defects.Library) (*batchPlan, error) {
+	params := make([]*crosstalk.Params, len(lib.Defects))
+	for i, d := range lib.Defects {
+		params[i] = d.Params
+	}
+	b, err := crosstalk.NewBatch(params, r.models[bus].Thresholds)
+	if err != nil {
+		return nil, err
+	}
+	n := b.Len()
+	words := b.MaskWords()
+	plan := &batchPlan{first: make([][]int32, n)}
+	sessions := len(r.plan.Programs)
+
+	// Event masks are memoized per distinct transition and shared across
+	// sessions: a clean defect never leaves any survivor mask, so without
+	// the memo its transitions would be re-evaluated session after session,
+	// forfeiting the batching win to redundant kernel runs.
+	memo := make(map[transKey][]uint64)
+	live := make([]uint64, words)
+	for s := 0; s < sessions; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		// Divergence is per (defect, session): every session's sweep starts
+		// with the full library live again.
+		for w := 0; w < words; w++ {
+			live[w] = ^uint64(0)
+		}
+		if tail := n & 63; tail != 0 {
+			live[words-1] = (1 << uint(tail)) - 1
+		}
+		for t, step := range r.traces[s][bus] {
+			key := transKey{prev: step.Prev, next: step.Next, dir: step.Dir}
+			mask, ok := memo[key]
+			if !ok {
+				mask = make([]uint64, words)
+				b.EventMask(step.Prev, step.Next, step.Dir, mask)
+				memo[key] = mask
+			}
+			empty := true
+			for w := 0; w < words; w++ {
+				diverged := live[w] & mask[w]
+				if diverged != 0 {
+					live[w] &^= diverged
+					for diverged != 0 {
+						d := w<<6 | bits.TrailingZeros64(diverged)
+						if plan.first[d] == nil {
+							f := make([]int32, sessions)
+							for i := range f {
+								f[i] = -1
+							}
+							plan.first[d] = f
+						}
+						plan.first[d][s] = int32(t)
+						diverged &= diverged - 1
+					}
+				}
+				if live[w] != 0 {
+					empty = false
+				}
+			}
+			if empty {
+				// Every defect has already diverged in this session; the
+				// rest of the trace cannot change any verdict.
+				break
+			}
+		}
+		r.batchSweeps.Add(1)
+	}
+	return plan, nil
+}
+
+// runDefectBatched resolves one defect from a batch screening plan. Clean
+// defects (first == nil) are settled without building a channel: the sweep
+// already proved every session's trace transfers unchanged, which is the
+// replay tier's exact undetected verdict, so the outcome matches Auto's
+// clean path byte for byte. Divergent defects resume execution from the
+// recorded first-divergence transaction of each diverging session — the
+// identical handover Auto computes with its own per-defect replay.
+func (r *Runner) runDefectBatched(bus core.BusID, defective *crosstalk.Params, first []int32) (Outcome, error) {
+	if first == nil {
+		r.replayHits.Add(1)
+		r.batchScreened.Add(1)
+		out := Outcome{Bus: bus, Replayed: true}
+		out.normalize()
+		return out, nil
+	}
+	defCh, err := crosstalk.NewChannel(defective, r.models[bus].Thresholds)
+	if err != nil {
+		return Outcome{}, err
+	}
+	// Same per-run memoized channel as Auto's fallback: hung runs loop over
+	// a handful of transitions for thousands of steps.
+	defCh.EnableMemo()
+	if defCh.MemoUnsupported() {
+		r.memoUnsupported.Add(1)
+	}
+	out := Outcome{Bus: bus}
+	seen := make(map[maf.Fault]bool)
+	for i, prog := range r.plan.Programs {
+		k := first[i]
+		if k < 0 {
+			continue // this session's trace replayed cleanly for this defect
+		}
+		res, err := r.core.Resume(i, bus, defCh, int(k))
+		if err != nil {
+			return Outcome{}, err
+		}
+		r.judge(&out, i, prog, res, seen)
+	}
+	r.fallbacks.Add(1)
+	out.normalize()
+	r.harvestMemo(defCh)
+	return out, nil
+}

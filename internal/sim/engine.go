@@ -40,6 +40,16 @@ const (
 	// fault masking), never reports crashes, and cannot attribute
 	// detections to individual MA tests.
 	Replay
+	// Batch is Auto with the screening loop inverted at campaign scope: one
+	// batched walk over each session's golden trace evaluates every library
+	// defect per transition (structure-of-arrays over the perturbed coupling
+	// matrices, bitset survivor mask), clearing the clean majority of the
+	// library in a single sweep and handing only the divergent (defect,
+	// session) pairs — with their recorded first-divergence indexes — to the
+	// snapshot-resume execution tier. Exact: campaigns are byte-identical to
+	// Auto and Execute. Outside CampaignCtx (single-defect runs, which have
+	// no library to batch over) it behaves as Auto.
+	Batch
 )
 
 // String returns the engine's flag spelling.
@@ -51,6 +61,8 @@ func (e Engine) String() string {
 		return "execute"
 	case Replay:
 		return "replay"
+	case Batch:
+		return "batch"
 	default:
 		return fmt.Sprintf("Engine(%d)", int(e))
 	}
@@ -65,8 +77,10 @@ func ParseEngine(s string) (Engine, error) {
 		return Execute, nil
 	case "replay":
 		return Replay, nil
+	case "batch":
+		return Batch, nil
 	default:
-		return Auto, fmt.Errorf("sim: unknown engine %q (want auto, execute, or replay)", s)
+		return Auto, fmt.Errorf("sim: unknown engine %q (want auto, execute, replay, or batch)", s)
 	}
 }
 
@@ -79,11 +93,29 @@ type EngineStats struct {
 	// Fallbacks counts Auto runs whose replay diverged and fell back to
 	// (resumed) execution.
 	Fallbacks int64 `json:"fallbacks"`
-	// Executes counts defect runs performed entirely by the Execute tier.
+	// Executes counts defect runs performed entirely by the Execute tier
+	// because the caller asked for it.
 	Executes int64 `json:"executes"`
+	// DegradedExecutes counts defect runs that requested a replay-based
+	// engine (Auto, Replay, or Batch) but ran as full Execute because the
+	// golden traffic itself suffered crosstalk events (replayOK is false),
+	// voiding the replay precondition. Kept distinct from Executes so
+	// screening-stats consumers see the degradation instead of a silent
+	// engine swap; omitted from JSON when zero so existing report and
+	// metrics bytes are unchanged on healthy runs.
+	DegradedExecutes int64 `json:"degraded_executes,omitempty"`
 	// Screened counts Replay-engine runs classified as detected from the
 	// divergence alone, without execution.
 	Screened int64 `json:"screened"`
+	// BatchScreened counts defects the batched library-wide screening sweep
+	// cleared as undetected in O(1) — no channel construction, no per-defect
+	// replay, no execution. Always also counted under ReplayHits (a batch
+	// clearance is a replay-tier verdict), so tier sums stay engine-stable.
+	BatchScreened int64 `json:"batch_screened,omitempty"`
+	// BatchSweeps counts session-trace sweeps the batched screening pass
+	// performed (one per (session, campaign) pair, regardless of library
+	// size — the point of inverting the loop).
+	BatchSweeps int64 `json:"batch_sweeps,omitempty"`
 	// MemoHits and MemoMisses count channel-transmit memo lookups across
 	// all memoized channels the runner used (the per-defect channels plus
 	// the target core's nominal channels).
@@ -100,13 +132,16 @@ type EngineStats struct {
 func (r *Runner) Stats() EngineStats {
 	coreHits, coreMisses := r.core.MemoStats()
 	return EngineStats{
-		ReplayHits:      r.replayHits.Load(),
-		Fallbacks:       r.fallbacks.Load(),
-		Executes:        r.executes.Load(),
-		Screened:        r.screened.Load(),
-		MemoHits:        r.memoHits.Load() + int64(coreHits),
-		MemoMisses:      r.memoMisses.Load() + int64(coreMisses),
-		MemoUnsupported: r.memoUnsupported.Load(),
+		ReplayHits:       r.replayHits.Load(),
+		Fallbacks:        r.fallbacks.Load(),
+		Executes:         r.executes.Load(),
+		DegradedExecutes: r.degradedExecutes.Load(),
+		Screened:         r.screened.Load(),
+		BatchScreened:    r.batchScreened.Load(),
+		BatchSweeps:      r.batchSweeps.Load(),
+		MemoHits:         r.memoHits.Load() + int64(coreHits),
+		MemoMisses:       r.memoMisses.Load() + int64(coreMisses),
+		MemoUnsupported:  r.memoUnsupported.Load(),
 	}
 }
 
@@ -118,12 +153,29 @@ func (r *Runner) Stats() EngineStats {
 // the replay precondition (golden traffic is error-free) does not hold, and
 // both Auto and Replay silently degrade to the exact Execute tier.
 func (r *Runner) RunDefectEngine(bus core.BusID, defective *crosstalk.Params, eng Engine) (Outcome, error) {
-	if eng == Execute || !r.replayOK {
+	// Validate the channel before engine dispatch: every tier indexes
+	// r.models (and the traces and core state keyed alongside it), so an
+	// out-of-range bus must fail identically whether the run replays,
+	// executes, or degrades.
+	if int(bus) < 0 || int(bus) >= len(r.models) {
+		return Outcome{}, fmt.Errorf("sim: %s has no channel %d", r.tgt.Name(), bus)
+	}
+	if eng == Execute {
 		r.executes.Add(1)
 		return r.runDefectExecute(bus, defective)
 	}
-	if int(bus) < 0 || int(bus) >= len(r.models) {
-		return Outcome{}, fmt.Errorf("sim: %s has no channel %d", r.tgt.Name(), bus)
+	if !r.replayOK {
+		// The replay precondition (golden traffic is error-free) does not
+		// hold; the run is exact but its engine request was not honoured, so
+		// it is accounted separately from deliberate Execute runs.
+		r.degradedExecutes.Add(1)
+		return r.runDefectExecute(bus, defective)
+	}
+	if eng == Batch {
+		// Batching inverts the loop over a whole library (see CampaignCtx);
+		// a single-defect run has nothing to batch and Auto is outcome-
+		// identical by construction.
+		eng = Auto
 	}
 	th := r.models[bus].Thresholds
 	defCh, err := crosstalk.NewChannel(defective, th)
@@ -222,5 +274,9 @@ func (r *Runner) runDefectReplay(bus core.BusID, defCh *crosstalk.Channel) Outco
 	} else {
 		r.replayHits.Add(1)
 	}
+	// Replay attributes no faults (DetectedBy stays empty), but the outcome
+	// must still leave through the same canonicalization as the other two
+	// tiers so every engine's outcomes share one field-level shape.
+	out.normalize()
 	return out
 }

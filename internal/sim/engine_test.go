@@ -22,6 +22,7 @@ func TestParseEngine(t *testing.T) {
 		{"auto", Auto, true},
 		{"execute", Execute, true},
 		{"replay", Replay, true},
+		{"batch", Batch, true},
 		{"warp", Auto, false},
 	}
 	for _, c := range cases {
@@ -30,7 +31,7 @@ func TestParseEngine(t *testing.T) {
 			t.Errorf("ParseEngine(%q) = %v, %v; want %v, ok=%v", c.in, got, err, c.want, c.ok)
 		}
 	}
-	for _, e := range []Engine{Auto, Execute, Replay} {
+	for _, e := range []Engine{Auto, Execute, Replay, Batch} {
 		back, err := ParseEngine(e.String())
 		if err != nil || back != e {
 			t.Errorf("round trip %v -> %q -> %v, %v", e, e.String(), back, err)

@@ -68,13 +68,16 @@ type Runner struct {
 	traces   [][][]target.BusStep
 	replayOK bool // golden traffic is event-free (replay precondition)
 
-	replayHits      atomic.Int64
-	fallbacks       atomic.Int64
-	executes        atomic.Int64
-	screened        atomic.Int64
-	memoHits        atomic.Int64
-	memoMisses      atomic.Int64
-	memoUnsupported atomic.Int64
+	replayHits       atomic.Int64
+	fallbacks        atomic.Int64
+	executes         atomic.Int64
+	degradedExecutes atomic.Int64
+	screened         atomic.Int64
+	batchScreened    atomic.Int64
+	batchSweeps      atomic.Int64
+	memoHits         atomic.Int64
+	memoMisses       atomic.Int64
+	memoUnsupported  atomic.Int64
 }
 
 // NewRunner builds a Parwan-backend runner from this package's historical
@@ -308,6 +311,23 @@ func (r *Runner) CampaignCtx(ctx context.Context, bus core.BusID, lib *defects.L
 	outcomes := make([]Outcome, len(lib.Defects))
 	errs := make([]error, len(lib.Defects))
 
+	// The Batch engine pre-classifies the whole library with one screening
+	// sweep per session trace (see batchScreen); the worker pool then emits
+	// clean defects in O(1) and runs only divergent ones through the resume
+	// tier. The bounds check mirrors RunDefectEngine's, which the batched
+	// path bypasses; degraded runners (replayOK false) keep Batch requests
+	// on the per-defect path, where they degrade to Execute like Auto does.
+	var bplan *batchPlan
+	if opts.Engine == Batch && r.replayOK && len(lib.Defects) > 0 {
+		if int(bus) < 0 || int(bus) >= len(r.models) {
+			return nil, fmt.Errorf("sim: %s has no channel %d", r.tgt.Name(), bus)
+		}
+		var err error
+		if bplan, err = r.batchScreen(ctx, bus, lib); err != nil {
+			return nil, err
+		}
+	}
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -351,7 +371,13 @@ func (r *Runner) CampaignCtx(ctx context.Context, bus core.BusID, lib *defects.L
 				if opts.Observe != nil {
 					t0 = time.Now()
 				}
-				out, err := r.RunDefectEngine(bus, lib.Defects[i].Params, opts.Engine)
+				var out Outcome
+				var err error
+				if bplan != nil {
+					out, err = r.runDefectBatched(bus, lib.Defects[i].Params, bplan.first[i])
+				} else {
+					out, err = r.RunDefectEngine(bus, lib.Defects[i].Params, opts.Engine)
+				}
 				if opts.Observe != nil && err == nil {
 					opts.Observe(out, time.Since(t0))
 				}

@@ -62,11 +62,24 @@ func TestWideBusEngineByteIdentity(t *testing.T) {
 			if !bytes.Equal(exec, auto) {
 				t.Fatalf("auto and execute campaign JSON differ (%d vs %d bytes)", len(auto), len(exec))
 			}
+			before := r.Stats()
+			batch := render(sim.Batch)
+			if !bytes.Equal(exec, batch) {
+				t.Fatalf("batch and execute campaign JSON differ (%d vs %d bytes)", len(batch), len(exec))
+			}
+			after := r.Stats()
+			if d := after.Executes - before.Executes; d != 0 {
+				t.Errorf("batch campaign performed %d full Execute runs, want 0", d)
+			}
+			screened := after.BatchScreened - before.BatchScreened
+			if screened+(after.Fallbacks-before.Fallbacks) != int64(size) {
+				t.Errorf("batch accounting does not cover the library: %+v vs %+v", before, after)
+			}
 			st := r.Stats()
 			if st.Executes == 0 || st.ReplayHits+st.Fallbacks == 0 {
 				t.Errorf("engine accounting did not cover both tiers: %+v", st)
 			}
-			t.Logf("width %d: %d defects, %d identical bytes", width, size, len(exec))
+			t.Logf("width %d: %d defects, %d identical bytes (%d batch-screened)", width, size, len(exec), screened)
 		})
 	}
 }
