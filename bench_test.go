@@ -21,6 +21,7 @@ import (
 	"repro/internal/defects"
 	"repro/internal/diagnose"
 	"repro/internal/fleet"
+	"repro/internal/infield"
 	"repro/internal/maf"
 	"repro/internal/obs"
 	"repro/internal/parwan"
@@ -782,4 +783,93 @@ func BenchmarkA5_TestOverlap(b *testing.B) {
 	b.Logf("A5: %d of %d defects (%.1f%%) excitable by exactly one MA test; "+
 		"mean %.1f exciting tests per defect (paper: only a tiny fraction lack overlap)",
 		unique, total, frac*100, float64(sumTests)/float64(total))
+}
+
+// benchInfieldSchedule measures an in-field schedule: every manifest slice's
+// sub-plan campaign over the full library, merged into the coverage ledger.
+// Reported metrics: mean per-slice campaign latency, the manifest's slice
+// count, and how many slices the curve needs to reach its converged coverage
+// (the one-shot campaign's detection count, by the convergence identity).
+func benchInfieldSchedule(b *testing.B, tgt target.Target, plan *core.Plan, busID core.BusID, libSeed int64) {
+	models, err := tgt.BusModels(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := sim.NewTargetRunner(tgt, plan, models)
+	if err != nil {
+		b.Fatal(err)
+	}
+	lib, err := defects.Generate(models[busID].Nominal, models[busID].Thresholds,
+		defects.Config{Size: benchLibrarySize, Seed: libSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	manifest, err := infield.BuildManifest(plan,
+		func(s int) uint64 { return full.Golden(s).Cycles },
+		infield.Config{PlanHash: "bench", Seed: libSeed})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Slice runners build once, as the campaign manager's cache would serve
+	// them across recurring slices; the timed loop is the slice campaigns.
+	runners := make([]*sim.Runner, len(manifest.Slices))
+	for i, sl := range manifest.Slices {
+		sub, err := infield.SubPlan(plan, sl)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if runners[i], err = sim.NewTargetRunner(tgt, sub, models); err != nil {
+			b.Fatal(err)
+		}
+	}
+	var toConverge int
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ledger := infield.NewLedger(len(lib.Defects), len(manifest.Slices), busID)
+		for j, sl := range manifest.Slices {
+			res, err := runners[j].Campaign(busID, lib)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := ledger.MergeSlice(sl.Index, res.Outcomes, infield.PointMeta{SliceCycles: sl.Cycles}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		pts := ledger.Points()
+		final := pts[len(pts)-1].Detected
+		toConverge = len(pts)
+		for _, pt := range pts {
+			if pt.Detected == final {
+				toConverge = pt.Merged
+				break
+			}
+		}
+	}
+	b.StopTimer()
+	perSlice := float64(b.Elapsed().Nanoseconds()) / float64(b.N*len(manifest.Slices))
+	b.ReportMetric(perSlice/1e6, "slice-ms")
+	b.ReportMetric(float64(len(manifest.Slices)), "slices")
+	b.ReportMetric(float64(toConverge), "slices-to-coverage")
+}
+
+// BenchmarkE5_Infield runs the paper's E5 address-bus campaign as a sliced
+// in-field schedule at session granularity (the finest manifest).
+func BenchmarkE5_Infield(b *testing.B) {
+	tgt, err := target.Parse("")
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan := mustPlan(b, core.GenConfig{})
+	benchInfieldSchedule(b, tgt, plan, core.AddrBus, 3001)
+}
+
+// BenchmarkWideBus32_Infield runs the 32-wire scripted bus as an 8-slice
+// in-field schedule (MaxSessions splits the script into 8 sessions).
+func BenchmarkWideBus32_Infield(b *testing.B) {
+	tgt := target.MustWideBus(32)
+	plan, err := tgt.Generate(target.GenSpec{MaxSessions: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchInfieldSchedule(b, tgt, plan, core.BusID(0), 4032)
 }

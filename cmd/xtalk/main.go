@@ -14,6 +14,8 @@
 //	xtalk diagnose [-target T] [-bus name] [-size N] [-seed N] [-signature "dr[3]/fwd,..."] [-o out.json] [-workers ...]
 //	xtalk minimize [-target T] [-bus name] [-size N] [-seed N] [-o out.json] [-workers ...]
 //	xtalk rank     [-target T] [-bus name] [-size N] [-seed N] [-o out.json] [-workers ...]
+//	xtalk infield  [-target T] [-bus name] [-size N] [-seed N] [-sessions N] [-slice-cycles N | -slices N]
+//	               [-interval D] [-engine auto|execute|replay|batch] [-o out.ndjson] [-workers ...] [-shards N]
 //
 // The -target flag selects the backend under test: "parwan" (the paper's
 // CPU-memory system; the default) or "widebusN" (a synthetic N-wire scripted
@@ -70,6 +72,8 @@ func main() {
 		err = cmdMinimize(os.Args[2:])
 	case "rank":
 		err = cmdRank(os.Args[2:])
+	case "infield":
+		err = cmdInfield(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -96,7 +100,8 @@ commands:
   margins  per-wire worst-case crosstalk margins of a bus description
   diagnose build the detection-set dictionary; localize a failure signature
   minimize set-cover test-program minimization with coverage verification
-  rank     per-wire crosstalk vulnerability ranking (Fig. 11 analytics)`)
+  rank     per-wire crosstalk vulnerability ranking (Fig. 11 analytics)
+  infield  sliced in-field test schedule with convergent coverage accounting`)
 }
 
 func setups() (sim.BusSetup, sim.BusSetup, error) {

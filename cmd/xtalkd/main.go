@@ -17,6 +17,15 @@
 // "phase" (simulate, analyze, verify) and their result endpoint serves the
 // deterministic analysis document instead of the campaign report.
 //
+// Type "infield" runs the campaign as an in-field test schedule (see
+// internal/infield): the plan is partitioned into bounded-cycle slices
+// ("slices" or "slice_cycles"), slices execute interleaved with functional
+// workload phases and paced by "interval_ms", and a checkpointed coverage
+// ledger accumulates per-slice detections — canceled schedules resume at the
+// next unmerged slice. Progress events carry the slice index and cumulative
+// coverage, /metrics gains the xtalkd_infield_* families, and the result
+// endpoint streams the coverage-over-time curve as NDJSON.
+//
 // The daemon plays one of three fleet roles (see internal/fleet):
 //
 //   - standalone (default): the single-node campaign API.

@@ -28,6 +28,7 @@ import (
 	"repro/internal/crosstalk"
 	"repro/internal/defects"
 	"repro/internal/diagnose"
+	"repro/internal/infield"
 	"repro/internal/maf"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -49,8 +50,11 @@ type Spec struct {
 	// Type selects the job's product: "campaign" (the plain coverage
 	// campaign; the default), "diagnose" (detection-set dictionary with
 	// localization), "minimize" (greedy set-cover test minimization with a
-	// verification campaign), or "rank" (per-wire vulnerability ranking).
-	// All types run the same base simulation; the analysis phase differs.
+	// verification campaign), "rank" (per-wire vulnerability ranking), or
+	// "infield" (the sliced in-field schedule with convergent coverage
+	// accounting; see internal/infield). All types run the same base
+	// simulation; infield partitions it into slices, the others differ in
+	// the analysis phase.
 	Type string `json:"type,omitempty"`
 	// Signature, for diagnose jobs, lists observed failing MA test names
 	// (maf.ParseFault forms, e.g. "dr[3]/fwd") to localize against the
@@ -82,6 +86,14 @@ type Spec struct {
 	// (library-wide screening sweep with execution of the divergent
 	// remainder, exact; see sim.Batch). Empty selects "auto".
 	Engine string `json:"engine,omitempty"`
+	// SliceCycles, Slices and IntervalMS configure infield jobs only.
+	// SliceCycles is the per-slice golden-cycle budget (zero slices at the
+	// finest granularity, one session per slice); Slices instead requests a
+	// target slice count (mutually exclusive with SliceCycles); IntervalMS
+	// paces recurring slices. See infield.Config.
+	SliceCycles uint64 `json:"slice_cycles,omitempty"`
+	Slices      int    `json:"slices,omitempty"`
+	IntervalMS  int    `json:"interval_ms,omitempty"`
 }
 
 // The job product types a Spec.Type can select.
@@ -90,7 +102,17 @@ const (
 	TypeDiagnose = "diagnose"
 	TypeMinimize = "minimize"
 	TypeRank     = "rank"
+	TypeInfield  = "infield"
 )
+
+// UnknownTypeError is the typed rejection of a Spec.Type outside the known
+// job types, so callers can distinguish a misspelled type from other
+// validation failures instead of matching error text.
+type UnknownTypeError struct{ Type string }
+
+func (e *UnknownTypeError) Error() string {
+	return fmt.Sprintf("campaign: unknown job type %q (want campaign, diagnose, minimize, rank or infield)", e.Type)
+}
 
 // JobType resolves the spec's product type; empty selects TypeCampaign. The
 // Type field itself is left un-normalized so cache and shard keys derived
@@ -206,12 +228,25 @@ func (s Spec) validate() error {
 		}
 	}
 	switch s.JobType() {
-	case TypeCampaign, TypeDiagnose, TypeMinimize, TypeRank:
+	case TypeCampaign, TypeDiagnose, TypeMinimize, TypeRank, TypeInfield:
 	default:
-		return fmt.Errorf("campaign: unknown job type %q (want campaign, diagnose, minimize or rank)", s.Type)
+		return &UnknownTypeError{Type: s.Type}
 	}
 	if len(s.Signature) > 0 && s.JobType() != TypeDiagnose {
 		return fmt.Errorf("campaign: signature is only meaningful for diagnose jobs, not %q", s.JobType())
+	}
+	if s.Slices < 0 {
+		return fmt.Errorf("campaign: negative slice count %d", s.Slices)
+	}
+	if s.IntervalMS < 0 {
+		return fmt.Errorf("campaign: negative slice interval %dms", s.IntervalMS)
+	}
+	if s.JobType() == TypeInfield {
+		if s.Slices > 0 && s.SliceCycles > 0 {
+			return errors.New("campaign: slices and slice_cycles are mutually exclusive")
+		}
+	} else if s.SliceCycles != 0 || s.Slices != 0 || s.IntervalMS != 0 {
+		return fmt.Errorf("campaign: slice_cycles, slices and interval_ms are only meaningful for infield jobs, not %q", s.JobType())
 	}
 	if s.JobType() == TypeMinimize && len(s.Plan) > 0 {
 		// The minimized program is regenerated from the generation config
@@ -275,6 +310,14 @@ type Progress struct {
 	Activations int64  `json:"activations"`
 	ReplayHits  int    `json:"replay_hits"`
 	Executed    int    `json:"executed"`
+	// Slice, Slices and Coverage describe infield jobs: slices merged into
+	// the coverage ledger so far, the manifest's total slice count, and the
+	// cumulative detected fraction of the defect library. For infield jobs
+	// Done/Total count defect runs across all slices and Detected is the
+	// ledger's cumulative detection count.
+	Slice    int     `json:"slice,omitempty"`
+	Slices   int     `json:"slices,omitempty"`
+	Coverage float64 `json:"coverage,omitempty"`
 }
 
 // Job phases reported in Progress.Phase.
@@ -282,6 +325,9 @@ const (
 	PhaseSimulate = "simulate"
 	PhaseAnalyze  = "analyze"
 	PhaseVerify   = "verify"
+	// PhaseWorkload marks an infield job executing the functional-workload
+	// phase interleaved before its next test slice.
+	PhaseWorkload = "workload"
 )
 
 // Status is a point-in-time snapshot of a job, JSON-ready.
@@ -308,6 +354,7 @@ type Job struct {
 	progress     Progress
 	outcomes     []sim.Outcome // checkpoint, by library index
 	completed    []bool
+	ledger       *infield.Ledger // infield jobs: the slice-merge checkpoint
 	result       *sim.CampaignResult
 	analysis     *Analysis
 	err          error
@@ -362,12 +409,14 @@ func (j *Job) Result() (*sim.CampaignResult, int, bool) {
 	return j.result, j.width, true
 }
 
-// Analysis is the product of a terminal diagnose, minimize or rank job;
-// exactly one field is set, matching the job type. Campaign jobs have none.
+// Analysis is the product of a terminal diagnose, minimize, rank or infield
+// job; exactly one field is set, matching the job type. Campaign jobs have
+// none.
 type Analysis struct {
 	Diagnosis *report.DiagnosisJSON
 	Minimize  *report.MinimizeJSON
 	Rank      *report.RankJSON
+	Infield   *report.InfieldJSON
 }
 
 // Analysis returns the job's analysis product once done; ok is false for
@@ -462,8 +511,16 @@ type Metrics struct {
 	GoldenCacheMisses  int64 `json:"golden_cache_misses"`
 	LibraryCacheHits   int64 `json:"library_cache_hits"`
 	LibraryCacheMisses int64 `json:"library_cache_misses"`
-	Workers            int   `json:"workers"`
-	BusyWorkers        int   `json:"busy_workers"`
+	// InfieldSlices counts slices executed and merged by infield jobs;
+	// InfieldDetections and InfieldGap mirror the cumulative-coverage
+	// gauges of the most recent merge; InfieldWorkloadCycles totals the
+	// functional cycles interleaved between slices.
+	InfieldSlices         int64 `json:"infield_slices_run"`
+	InfieldDetections     int64 `json:"infield_cumulative_detections"`
+	InfieldGap            int64 `json:"infield_convergence_gap"`
+	InfieldWorkloadCycles int64 `json:"infield_workload_cycles"`
+	Workers               int   `json:"workers"`
+	BusyWorkers           int   `json:"busy_workers"`
 	// Engine is the aggregate of every cached runner's engine counters:
 	// replay-tier hits, execution fallbacks, forced executions, screening
 	// verdicts, and channel-memo traffic (see sim.EngineStats).
@@ -512,6 +569,8 @@ type Manager struct {
 	jobsSubmitted, jobsCompleted, jobsFailed, jobsCanceled, jobsResumed *obs.Counter
 	defectsSimulated, shardsServed                                      *obs.Counter
 	goldenHits, goldenMisses, libHits, libMisses                        *obs.Counter
+	infieldSlices, infieldWorkloadCycles                                *obs.Counter
+	infieldDetections, infieldGap                                       *obs.Gauge
 	simLatency                                                          map[string]*obs.Histogram // per engine tier
 	queueWait                                                           *obs.Histogram
 }
@@ -545,6 +604,10 @@ func New(cfg Config) *Manager {
 	m.goldenMisses = reg.Counter("xtalkd_golden_cache_misses_total", "golden runner cache misses")
 	m.libHits = reg.Counter("xtalkd_library_cache_hits_total", "defect library cache hits")
 	m.libMisses = reg.Counter("xtalkd_library_cache_misses_total", "defect library cache misses")
+	m.infieldSlices = reg.Counter("xtalkd_infield_slices_run_total", "in-field test slices executed and merged into a coverage ledger")
+	m.infieldWorkloadCycles = reg.Counter("xtalkd_infield_workload_cycles_total", "functional-workload cycles interleaved between in-field slices")
+	m.infieldDetections = reg.Gauge("xtalkd_infield_cumulative_detections", "cumulative defects detected by the most recently merged in-field slice")
+	m.infieldGap = reg.Gauge("xtalkd_infield_convergence_gap", "defects not yet detected by the in-field ledger (converges to the one-shot campaign's undetected count)")
 	reg.GaugeFunc("xtalkd_workers", "shared defect-run worker pool size",
 		func() float64 { return float64(cap(m.slots)) })
 	reg.GaugeFunc("xtalkd_workers_busy", "defect runs currently holding a pool slot",
@@ -641,20 +704,24 @@ func (m *Manager) Metrics() Metrics {
 	}
 	m.mu.Unlock()
 	return Metrics{
-		Engine:             eng,
-		JobsSubmitted:      m.jobsSubmitted.Value(),
-		JobsCompleted:      m.jobsCompleted.Value(),
-		JobsFailed:         m.jobsFailed.Value(),
-		JobsCanceled:       m.jobsCanceled.Value(),
-		JobsResumed:        m.jobsResumed.Value(),
-		DefectsSimulated:   m.defectsSimulated.Value(),
-		ShardsServed:       m.shardsServed.Value(),
-		GoldenCacheHits:    m.goldenHits.Value(),
-		GoldenCacheMisses:  m.goldenMisses.Value(),
-		LibraryCacheHits:   m.libHits.Value(),
-		LibraryCacheMisses: m.libMisses.Value(),
-		Workers:            cap(m.slots),
-		BusyWorkers:        len(m.slots),
+		Engine:                eng,
+		JobsSubmitted:         m.jobsSubmitted.Value(),
+		JobsCompleted:         m.jobsCompleted.Value(),
+		JobsFailed:            m.jobsFailed.Value(),
+		JobsCanceled:          m.jobsCanceled.Value(),
+		JobsResumed:           m.jobsResumed.Value(),
+		DefectsSimulated:      m.defectsSimulated.Value(),
+		ShardsServed:          m.shardsServed.Value(),
+		GoldenCacheHits:       m.goldenHits.Value(),
+		GoldenCacheMisses:     m.goldenMisses.Value(),
+		LibraryCacheHits:      m.libHits.Value(),
+		LibraryCacheMisses:    m.libMisses.Value(),
+		InfieldSlices:         m.infieldSlices.Value(),
+		InfieldDetections:     m.infieldDetections.Value(),
+		InfieldGap:            m.infieldGap.Value(),
+		InfieldWorkloadCycles: m.infieldWorkloadCycles.Value(),
+		Workers:               cap(m.slots),
+		BusyWorkers:           len(m.slots),
 	}
 }
 
@@ -915,10 +982,17 @@ func (m *Manager) run(ctx context.Context, job *Job, enqueued time.Time) {
 	job.mu.Unlock()
 	m.obs.Record("job.state", obs.Label{Key: "job", Value: job.id}, obs.Label{Key: "state", Value: string(Running)})
 
-	res, env, err := m.execute(ctx, job)
+	var res *sim.CampaignResult
 	var analysis *Analysis
-	if err == nil && job.spec.JobType() != TypeCampaign {
-		analysis, err = m.analyze(ctx, job, res, env)
+	var err error
+	if job.spec.JobType() == TypeInfield {
+		res, analysis, err = m.executeInfield(ctx, job)
+	} else {
+		var env *execEnv
+		res, env, err = m.execute(ctx, job)
+		if err == nil && job.spec.JobType() != TypeCampaign {
+			analysis, err = m.analyze(ctx, job, res, env)
+		}
 	}
 
 	job.mu.Lock()

@@ -180,6 +180,10 @@ func (s *Server) result(w http.ResponseWriter, r *http.Request) {
 	// same spec (same caches, no extra simulation).
 	if an, ok := job.Analysis(); ok {
 		switch {
+		case an.Infield != nil:
+			// The coverage curve is a stream: header, points, summary.
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			report.WriteInfieldNDJSON(w, an.Infield)
 		case an.Diagnosis != nil:
 			report.WriteDiagnosisJSON(w, an.Diagnosis)
 		case an.Minimize != nil:

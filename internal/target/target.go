@@ -87,7 +87,9 @@ type GenSpec struct {
 	// backend supports it (§4.3 for Parwan; scripted targets ignore it).
 	Compaction bool
 	// MaxSessions bounds follow-up sessions; zero selects the backend
-	// default.
+	// default. Scripted targets reinterpret it structurally: a value > 1
+	// splits the script across up to that many self-contained sessions, the
+	// granularity in-field slicing partitions at.
 	MaxSessions int
 	// OnlyChannel restricts generation to one channel's tests by name; empty
 	// generates tests for every channel.

@@ -1,6 +1,7 @@
 package target
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 
@@ -230,5 +231,75 @@ func TestCheckPlanTargetMismatch(t *testing.T) {
 	_, err = Parwan().NewCore(plan, models)
 	if err == nil || !strings.Contains(err.Error(), "generated for widebus16") {
 		t.Errorf("parwan accepted a widebus16 plan: %v", err)
+	}
+}
+
+// TestWideBusGenerateMaxSessions pins the structural reinterpretation of
+// MaxSessions on the scripted target: the test script splits across up to
+// that many self-contained sessions — the units in-field slicing partitions
+// at — while 0 and 1 stay byte-identical to the single-session default.
+func TestWideBusGenerateMaxSessions(t *testing.T) {
+	tgt := MustWideBus(16)
+	planBytes := func(spec GenSpec) []byte {
+		t.Helper()
+		plan, err := tgt.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := core.WritePlan(&buf, plan); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	def := planBytes(GenSpec{})
+	if !bytes.Equal(def, planBytes(GenSpec{MaxSessions: 1})) {
+		t.Error("MaxSessions 1 changed the default single-session plan")
+	}
+
+	for _, sessions := range []int{2, 5, 8} {
+		plan, err := tgt.Generate(GenSpec{MaxSessions: sessions})
+		if err != nil {
+			t.Fatalf("MaxSessions %d: %v", sessions, err)
+		}
+		if len(plan.Programs) != sessions {
+			t.Fatalf("MaxSessions %d: got %d sessions", sessions, len(plan.Programs))
+		}
+		tests, minSz, maxSz := 0, 1<<30, 0
+		for i, prog := range plan.Programs {
+			if prog.Session != i {
+				t.Errorf("MaxSessions %d: program %d labeled session %d", sessions, i, prog.Session)
+			}
+			if len(prog.Script) != 2*len(prog.Applied) {
+				t.Errorf("MaxSessions %d session %d: %d script steps for %d tests",
+					sessions, i, len(prog.Script), len(prog.Applied))
+			}
+			stride := 2
+			if got, want := len(prog.ResponseCells), len(prog.Script)*stride; got != want {
+				t.Errorf("MaxSessions %d session %d: %d response cells, want %d", sessions, i, got, want)
+			}
+			tests += len(prog.Applied)
+			if len(prog.Applied) < minSz {
+				minSz = len(prog.Applied)
+			}
+			if len(prog.Applied) > maxSz {
+				maxSz = len(prog.Applied)
+			}
+		}
+		if tests != 4*16 {
+			t.Errorf("MaxSessions %d: %d tests across sessions, want 64", sessions, tests)
+		}
+		if maxSz-minSz > 1 {
+			t.Errorf("MaxSessions %d: uneven split, session sizes range %d..%d", sessions, minSz, maxSz)
+		}
+	}
+
+	// More sessions than tests degenerates to one test per session.
+	small, err := tgt.Generate(GenSpec{MaxSessions: 1000, Filter: func(f maf.Fault) bool { return f.Victim == 3 }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.Programs) != 4 {
+		t.Fatalf("oversubscribed MaxSessions: %d sessions for 4 tests", len(small.Programs))
 	}
 }

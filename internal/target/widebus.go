@@ -62,16 +62,51 @@ func (t wideBusTarget) stride() int { return (t.width + 7) / 8 }
 // pair as two consecutive script steps, and observes the receiver's latched
 // word at both. Compaction does not apply to a scripted initiator (there is
 // no accumulator); the flag is ignored and the plan records it false.
+//
+// MaxSessions, when > 1, splits the tests across up to that many
+// self-contained sessions (each with its own script and response-cell space),
+// as evenly as the test count allows while preserving test order. A scripted
+// initiator has no placement conflicts, so the split is purely structural —
+// it exists so in-field slicing (internal/infield) has session boundaries to
+// partition at. Zero or one keeps the classic single-session plan, byte for
+// byte.
 func (t wideBusTarget) Generate(spec GenSpec) (*core.Plan, error) {
 	if spec.OnlyChannel != "" && spec.OnlyChannel != "bus" {
 		return nil, fmt.Errorf("target: %s has no channel %q (its only channel is bus)", t.Name(), spec.OnlyChannel)
 	}
-	stride := t.stride()
-	prog := &core.TestProgram{Session: 0, ScriptWidth: t.width}
+	var tests []maf.Test
 	for _, mt := range maf.Tests(t.width, false) {
 		if spec.Filter != nil && !spec.Filter(mt.Fault) {
 			continue
 		}
+		tests = append(tests, mt)
+	}
+	sessions := 1
+	if spec.MaxSessions > 1 && len(tests) > 0 {
+		sessions = spec.MaxSessions
+		if sessions > len(tests) {
+			sessions = len(tests)
+		}
+	}
+	plan := &core.Plan{Target: t.Name(), Channels: []string{"bus"}}
+	base, rem := len(tests)/sessions, len(tests)%sessions
+	idx := 0
+	for s := 0; s < sessions; s++ {
+		n := base
+		if s < rem {
+			n++
+		}
+		plan.Programs = append(plan.Programs, t.session(s, tests[idx:idx+n]))
+		idx += n
+	}
+	return plan, nil
+}
+
+// session builds one self-contained scripted session from a run of tests.
+func (t wideBusTarget) session(session int, tests []maf.Test) *core.TestProgram {
+	stride := t.stride()
+	prog := &core.TestProgram{Session: session, ScriptWidth: t.width}
+	for _, mt := range tests {
 		step := len(prog.Script)
 		cells := make([]uint16, 0, 2*stride)
 		for s := step; s < step+2; s++ {
@@ -90,11 +125,7 @@ func (t wideBusTarget) Generate(spec GenSpec) (*core.Plan, error) {
 	for i := range prog.ResponseCells {
 		prog.ResponseCells[i] = uint16(i)
 	}
-	return &core.Plan{
-		Programs: []*core.TestProgram{prog},
-		Target:   t.Name(),
-		Channels: []string{"bus"},
-	}, nil
+	return prog
 }
 
 func (t wideBusTarget) NewCore(plan *core.Plan, models []BusModel) (Core, error) {

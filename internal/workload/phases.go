@@ -1,0 +1,95 @@
+package workload
+
+import "fmt"
+
+// A functional-workload phase model for in-field test scheduling. The paper
+// runs the whole MA test program offline; Strauch's in-field testing argument
+// (PAPERS.md) interleaves short self-test slices with the functional
+// workload. internal/infield's scheduler asks this iterator which functional
+// phase runs between two test slices, so slice placement is deterministic
+// and reproducible across runs, resumes, and fleet nodes.
+
+// PhaseSpec names one functional phase and its cycle budget.
+type PhaseSpec struct {
+	Name   string `json:"name"`
+	Cycles uint64 `json:"cycles"`
+}
+
+// Phase is one issued functional phase: the spec plus its position in the
+// deterministic sequence.
+type Phase struct {
+	PhaseSpec
+	// Seq is the zero-based issue index across the whole sequence.
+	Seq int
+	// Epoch counts completed rotations through the phase list.
+	Epoch int
+}
+
+// DefaultPhases is the canonical functional-workload mix used when a caller
+// does not supply one: a boot burst, a long compute phase, an I/O phase and
+// an idle window, with cycle budgets on the scale of the Parwan self-test
+// sessions (hundreds to thousands of cycles).
+func DefaultPhases() []PhaseSpec {
+	return []PhaseSpec{
+		{Name: "boot", Cycles: 256},
+		{Name: "compute", Cycles: 2048},
+		{Name: "io", Cycles: 512},
+		{Name: "idle", Cycles: 1024},
+	}
+}
+
+// PhaseIterator yields phases in a fixed round-robin order. It is a pure
+// rotation — the phase issued at sequence index i depends only on the phase
+// list — so a resumed or re-sharded schedule can re-derive exactly the phase
+// any slice index interleaves with (see Skip).
+type PhaseIterator struct {
+	phases []PhaseSpec
+	seq    int
+	cycles uint64
+}
+
+// NewPhaseIterator validates the phase list and positions the iterator at
+// sequence index zero.
+func NewPhaseIterator(phases []PhaseSpec) (*PhaseIterator, error) {
+	if len(phases) == 0 {
+		return nil, fmt.Errorf("workload: empty phase list")
+	}
+	for i, p := range phases {
+		if p.Name == "" {
+			return nil, fmt.Errorf("workload: phase %d has no name", i)
+		}
+		if p.Cycles == 0 {
+			return nil, fmt.Errorf("workload: phase %q has a zero cycle budget", p.Name)
+		}
+	}
+	return &PhaseIterator{phases: append([]PhaseSpec(nil), phases...)}, nil
+}
+
+// Next issues the next phase in the rotation.
+func (it *PhaseIterator) Next() Phase {
+	p := Phase{
+		PhaseSpec: it.phases[it.seq%len(it.phases)],
+		Seq:       it.seq,
+		Epoch:     it.seq / len(it.phases),
+	}
+	it.seq++
+	it.cycles += p.Cycles
+	return p
+}
+
+// Skip advances the iterator past n phases without issuing them, accounting
+// their cycles as if they had run. A schedule resumed at slice n calls
+// Skip(n) and then sees exactly the phases the uninterrupted schedule would
+// have issued from there on.
+func (it *PhaseIterator) Skip(n int) {
+	for i := 0; i < n; i++ {
+		it.Next()
+	}
+}
+
+// Seq returns the next sequence index to be issued.
+func (it *PhaseIterator) Seq() int { return it.seq }
+
+// CyclesIssued returns the total functional cycles issued (or skipped) so
+// far.
+func (it *PhaseIterator) CyclesIssued() uint64 { return it.cycles }

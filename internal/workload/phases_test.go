@@ -1,0 +1,88 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestPhaseIteratorRotation(t *testing.T) {
+	it, err := NewPhaseIterator(DefaultPhases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"boot", "compute", "io", "idle"}
+	var cycles uint64
+	for i := 0; i < 10; i++ {
+		p := it.Next()
+		if p.Name != names[i%4] {
+			t.Fatalf("phase %d = %q, want %q", i, p.Name, names[i%4])
+		}
+		if p.Seq != i {
+			t.Fatalf("phase %d Seq = %d", i, p.Seq)
+		}
+		if p.Epoch != i/4 {
+			t.Fatalf("phase %d Epoch = %d, want %d", i, p.Epoch, i/4)
+		}
+		cycles += p.Cycles
+	}
+	if it.CyclesIssued() != cycles {
+		t.Fatalf("CyclesIssued = %d, want %d", it.CyclesIssued(), cycles)
+	}
+}
+
+// TestPhaseIteratorDeterministic proves two iterators over the same list
+// issue identical sequences — the property the in-field scheduler depends on.
+func TestPhaseIteratorDeterministic(t *testing.T) {
+	a, _ := NewPhaseIterator(DefaultPhases())
+	b, _ := NewPhaseIterator(DefaultPhases())
+	for i := 0; i < 25; i++ {
+		pa, pb := a.Next(), b.Next()
+		if !reflect.DeepEqual(pa, pb) {
+			t.Fatalf("issue %d diverged: %+v vs %+v", i, pa, pb)
+		}
+	}
+}
+
+// TestPhaseIteratorSkip proves Skip(n) is equivalent to issuing n phases: a
+// resumed schedule sees exactly the continuation of the uninterrupted one.
+func TestPhaseIteratorSkip(t *testing.T) {
+	full, _ := NewPhaseIterator(DefaultPhases())
+	for i := 0; i < 7; i++ {
+		full.Next()
+	}
+	resumed, _ := NewPhaseIterator(DefaultPhases())
+	resumed.Skip(7)
+	if resumed.Seq() != full.Seq() || resumed.CyclesIssued() != full.CyclesIssued() {
+		t.Fatalf("skip state (%d, %d) != issued state (%d, %d)",
+			resumed.Seq(), resumed.CyclesIssued(), full.Seq(), full.CyclesIssued())
+	}
+	for i := 0; i < 9; i++ {
+		pf, pr := full.Next(), resumed.Next()
+		if !reflect.DeepEqual(pf, pr) {
+			t.Fatalf("continuation %d diverged: %+v vs %+v", i, pf, pr)
+		}
+	}
+}
+
+func TestPhaseIteratorValidation(t *testing.T) {
+	if _, err := NewPhaseIterator(nil); err == nil {
+		t.Fatal("empty phase list accepted")
+	}
+	if _, err := NewPhaseIterator([]PhaseSpec{{Name: "", Cycles: 1}}); err == nil {
+		t.Fatal("unnamed phase accepted")
+	}
+	if _, err := NewPhaseIterator([]PhaseSpec{{Name: "x", Cycles: 0}}); err == nil {
+		t.Fatal("zero-cycle phase accepted")
+	}
+}
+
+// TestPhaseIteratorCopiesInput proves the iterator is insulated from caller
+// mutation of the phase slice after construction.
+func TestPhaseIteratorCopiesInput(t *testing.T) {
+	specs := DefaultPhases()
+	it, _ := NewPhaseIterator(specs)
+	specs[0].Name = "mutated"
+	if p := it.Next(); p.Name != "boot" {
+		t.Fatalf("iterator saw caller mutation: %q", p.Name)
+	}
+}

@@ -1,0 +1,60 @@
+#!/bin/sh
+# bench_pr9.sh runs the in-field scheduling benchmarks (the sliced E5
+# address-bus schedule and the 8-slice 32-wire scripted bus) once each and
+# writes BENCH_PR9.json: per-slice campaign latency, the manifest's slice
+# count, and the slices needed to reach converged coverage. The PR 9
+# acceptance gate requires the E5 per-slice latency to stay under 150 ms —
+# a slice must remain a small interruption of the functional workload, not
+# a full campaign — and convergence within the manifest.
+#
+# Usage: scripts/bench_pr9.sh [output.json]
+set -eu
+
+out=${1:-BENCH_PR9.json}
+cd "$(dirname "$0")/.."
+
+raw=$(go test -run '^$' -bench 'Benchmark(E5|WideBus32)_Infield$' -benchtime 1x .)
+echo "$raw" >&2
+
+echo "$raw" | awk -v out="$out" '
+$1 ~ /^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)   # strip the GOMAXPROCS suffix
+    ns[name] = $3
+    for (i = 4; i < NF; i++) {
+        if ($(i + 1) == "slice-ms") slice_ms[name] = $i
+        if ($(i + 1) == "slices") slices[name] = $i
+        if ($(i + 1) == "slices-to-coverage") conv[name] = $i
+    }
+}
+END {
+    order = "BenchmarkE5_Infield BenchmarkWideBus32_Infield"
+    n = split(order, names, " ")
+    printf "{\n" > out
+    printf "  \"bench\": {\n" >> out
+    for (i = 1; i <= n; i++) {
+        if (!(names[i] in slice_ms)) {
+            printf "missing benchmark %s\n", names[i] > "/dev/stderr"
+            exit 1
+        }
+        printf "    \"%s\": {\"ns_per_op\": %d, \"slice_ms\": %.2f, \"slices\": %d, \"slices_to_coverage\": %d}%s\n", \
+            names[i], ns[names[i]], slice_ms[names[i]], slices[names[i]], conv[names[i]], \
+            (i < n) ? "," : "" >> out
+    }
+    printf "  }\n" >> out
+    printf "}\n" >> out
+    if (slice_ms["BenchmarkE5_Infield"] + 0 >= 150) {
+        printf "FAIL: E5 per-slice latency %.1f ms exceeds the 150 ms gate\n", \
+            slice_ms["BenchmarkE5_Infield"] > "/dev/stderr"
+        exit 1
+    }
+    for (i = 1; i <= n; i++) {
+        if (conv[names[i]] + 0 > slices[names[i]] + 0) {
+            printf "FAIL: %s needed %d slices to converge, manifest has %d\n", \
+                names[i], conv[names[i]], slices[names[i]] > "/dev/stderr"
+            exit 1
+        }
+    }
+}
+'
+echo "wrote $out" >&2
