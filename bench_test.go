@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
@@ -383,6 +384,57 @@ func BenchmarkE5_TelemetryOverhead(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tOn += e5ServicePair(b, on)
+		tOff += e5ServicePair(b, off)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(tOn.Nanoseconds())/float64(b.N), "on-ns/op")
+	b.ReportMetric(float64(tOff.Nanoseconds())/float64(b.N), "off-ns/op")
+	b.ReportMetric((float64(tOn)/float64(tOff)-1)*100, "overhead-%")
+}
+
+// BenchmarkE5_FleetObsOverhead extends the BENCH_PR5 pairing to the fleet
+// observability layer: the on side runs the E5 campaign pair with full
+// telemetry plus the per-heartbeat federation work a coordinator and worker
+// add (render the live registry, parse it as ingest does, relabel and merge
+// two worker snapshots, render the fleet exposition) and an SLO burn-rate
+// evaluation tick; the off side is the disabled-telemetry baseline. Pairs
+// interleave so machine drift cancels — the BENCH_PR10.json figure behind
+// the ≤2% federation+SLO overhead bound.
+func BenchmarkE5_FleetObsOverhead(b *testing.B) {
+	on := campaign.New(campaign.Config{Obs: obs.NewTelemetry()})
+	off := campaign.New(campaign.Config{Obs: obs.Disabled()})
+	fleetCycle := func() {
+		var exp strings.Builder
+		if err := on.Obs().Reg.WritePrometheus(&exp); err != nil {
+			b.Fatal(err)
+		}
+		snaps := make(map[string]*obs.Snapshot, 2)
+		for _, url := range []string{"http://w1:1", "http://w2:1"} {
+			snap, err := obs.ParseExposition(strings.NewReader(exp.String()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			snaps[url] = snap
+		}
+		fed, err := obs.Federate(snaps)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var out strings.Builder
+		if err := fed.WritePrometheus(&out); err != nil {
+			b.Fatal(err)
+		}
+		on.Obs().SLO.Tick(time.Now())
+	}
+	e5ServicePair(b, on) // warm both managers' caches
+	e5ServicePair(b, off)
+	var tOn, tOff time.Duration
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		e5ServicePair(b, on)
+		fleetCycle()
+		tOn += time.Since(t0)
 		tOff += e5ServicePair(b, off)
 	}
 	b.StopTimer()

@@ -16,6 +16,7 @@
 //	xtalk rank     [-target T] [-bus name] [-size N] [-seed N] [-o out.json] [-workers ...]
 //	xtalk infield  [-target T] [-bus name] [-size N] [-seed N] [-sessions N] [-slice-cycles N | -slices N]
 //	               [-interval D] [-engine auto|execute|replay|batch] [-o out.ndjson] [-workers ...] [-shards N]
+//	xtalk status   [-daemon http://localhost:8080] [-timeout 5s]
 //
 // The -target flag selects the backend under test: "parwan" (the paper's
 // CPU-memory system; the default) or "widebusN" (a synthetic N-wire scripted
@@ -74,6 +75,8 @@ func main() {
 		err = cmdRank(os.Args[2:])
 	case "infield":
 		err = cmdInfield(os.Args[2:])
+	case "status":
+		err = cmdStatus(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -101,7 +104,8 @@ commands:
   diagnose build the detection-set dictionary; localize a failure signature
   minimize set-cover test-program minimization with coverage verification
   rank     per-wire crosstalk vulnerability ranking (Fig. 11 analytics)
-  infield  sliced in-field test schedule with convergent coverage accounting`)
+  infield  sliced in-field test schedule with convergent coverage accounting
+  status   health, SLO alerts, fleet and drift summary of a live xtalkd`)
 }
 
 func setups() (sim.BusSetup, sim.BusSetup, error) {

@@ -51,6 +51,16 @@
 //	       [-role standalone|worker|coordinator] [-debug-addr :6060]
 //	       [-coordinator URL] [-advertise URL] [-heartbeat 5s]
 //	       [-shard-timeout 5m] [-heartbeat-ttl 15s]
+//	       [-slo-interval 10s] [-baseline-dir DIR]
+//
+// Each heartbeat additionally carries the worker's rendered metrics
+// exposition, so the coordinator federates the fleet's registries into the
+// xtalkd_fleet_* families on its own /metrics and serves the aggregate
+// /fleet/status document without scraping workers itself. The SLO engine
+// (see internal/obs) evaluates its burn-rate objectives every -slo-interval
+// and serves the alert list at /alerts; -baseline-dir persists in-field
+// coverage baselines across restarts so recurring schedules get drift
+// detection (type "infield") from the first run after a redeploy.
 //
 // On SIGINT/SIGTERM the daemon stops accepting work and drains in-flight
 // jobs; jobs still running when the drain timeout expires are cancelled
@@ -89,6 +99,8 @@ func main() {
 	shardTimeout := flag.Duration("shard-timeout", 5*time.Minute, "coordinator: per-shard attempt timeout")
 	heartbeatTTL := flag.Duration("heartbeat-ttl", 15*time.Second, "coordinator: expire workers silent for this long")
 	debugAddr := flag.String("debug-addr", "", "private listener for net/http/pprof and telemetry endpoints (empty = off)")
+	sloInterval := flag.Duration("slo-interval", 10*time.Second, "SLO burn-rate evaluation period (0 = off)")
+	baselineDir := flag.String("baseline-dir", "", "directory persisting in-field coverage baselines for drift detection (empty = in-memory only)")
 	flag.Parse()
 
 	cfg := daemonConfig{
@@ -102,6 +114,8 @@ func main() {
 		shardTimeout: *shardTimeout,
 		heartbeatTTL: *heartbeatTTL,
 		debugAddr:    *debugAddr,
+		sloInterval:  *sloInterval,
+		baselineDir:  *baselineDir,
 	}
 	if err := run(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "xtalkd:", err)
@@ -120,6 +134,8 @@ type daemonConfig struct {
 	shardTimeout time.Duration
 	heartbeatTTL time.Duration
 	debugAddr    string
+	sloInterval  time.Duration
+	baselineDir  string
 }
 
 func run(cfg daemonConfig) error {
@@ -133,10 +149,10 @@ func run(cfg daemonConfig) error {
 
 	switch cfg.role {
 	case "standalone":
-		mgr = campaign.New(campaign.Config{Workers: cfg.workers, Obs: tel})
+		mgr = campaign.New(campaign.Config{Workers: cfg.workers, Obs: tel, BaselineDir: cfg.baselineDir})
 		handler = campaign.NewServerWithInfo(mgr, campaign.ServerInfo{Role: cfg.role, Started: started})
 	case "worker":
-		mgr = campaign.New(campaign.Config{Workers: cfg.workers, Obs: tel})
+		mgr = campaign.New(campaign.Config{Workers: cfg.workers, Obs: tel, BaselineDir: cfg.baselineDir})
 		mux := http.NewServeMux()
 		mux.Handle("/v1/fleet/", fleet.NewWorker(mgr))
 		mux.Handle("/", campaign.NewServerWithInfo(mgr, campaign.ServerInfo{Role: cfg.role, Started: started}))
@@ -173,7 +189,10 @@ func run(cfg daemonConfig) error {
 		if cfg.advertise == "" {
 			return errors.New("worker with -coordinator needs -advertise (its own base URL)")
 		}
-		go heartbeatLoop(ctx, cfg.coordinator, cfg.advertise, cfg.heartbeat)
+		go heartbeatLoop(ctx, tel, cfg.coordinator, cfg.advertise, cfg.heartbeat)
+	}
+	if cfg.sloInterval > 0 {
+		go sloLoop(ctx, tel, cfg.sloInterval)
 	}
 
 	errc := make(chan error, 1)
@@ -237,10 +256,17 @@ func debugMux(tel *obs.Telemetry) *http.ServeMux {
 
 // heartbeatLoop registers the worker with the coordinator immediately and
 // then keeps the registration fresh, so an expired or restarted coordinator
-// re-learns the worker within one period.
-func heartbeatLoop(ctx context.Context, coordinator, advertise string, period time.Duration) {
-	body, _ := json.Marshal(fleet.RegisterRequest{URL: advertise})
+// re-learns the worker within one period. Each beat carries the worker's
+// rendered metrics exposition, which the coordinator federates into the
+// fleet-wide xtalkd_fleet_* families — the heartbeat doubles as the scrape
+// transport, so no extra listener or pull path is needed.
+func heartbeatLoop(ctx context.Context, tel *obs.Telemetry, coordinator, advertise string, period time.Duration) {
 	beat := func() {
+		var metrics bytes.Buffer
+		if tel.Enabled() {
+			tel.Reg.WritePrometheus(&metrics)
+		}
+		body, _ := json.Marshal(fleet.RegisterRequest{URL: advertise, Metrics: metrics.String()})
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost,
 			coordinator+"/v1/fleet/workers", bytes.NewReader(body))
 		if err != nil {
@@ -263,6 +289,25 @@ func heartbeatLoop(ctx context.Context, coordinator, advertise string, period ti
 			return
 		case <-t.C:
 			beat()
+		}
+	}
+}
+
+// sloLoop drives the process's SLO burn-rate evaluator: each tick samples
+// every objective's error-budget consumption over the fast and slow windows
+// and advances the alert state machines served at /alerts.
+func sloLoop(ctx context.Context, tel *obs.Telemetry, period time.Duration) {
+	if tel == nil || tel.SLO == nil {
+		return
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			tel.SLO.Tick(time.Now())
 		}
 	}
 }

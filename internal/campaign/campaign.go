@@ -318,6 +318,12 @@ type Progress struct {
 	Slice    int     `json:"slice,omitempty"`
 	Slices   int     `json:"slices,omitempty"`
 	Coverage float64 `json:"coverage,omitempty"`
+	// Drift is the in-field drift verdict once a completed run has been
+	// compared against (or saved as) its manifest key's baseline curve:
+	// "baseline", "ok", or "drift", with the violated tolerances in
+	// DriftReasons.
+	Drift        string   `json:"drift,omitempty"`
+	DriftReasons []string `json:"drift_reasons,omitempty"`
 }
 
 // Job phases reported in Progress.Phase.
@@ -519,8 +525,11 @@ type Metrics struct {
 	InfieldDetections     int64 `json:"infield_cumulative_detections"`
 	InfieldGap            int64 `json:"infield_convergence_gap"`
 	InfieldWorkloadCycles int64 `json:"infield_workload_cycles"`
-	Workers               int   `json:"workers"`
-	BusyWorkers           int   `json:"busy_workers"`
+	// InfieldDriftAlerts counts completed in-field runs whose coverage
+	// curve drifted beyond tolerance of their manifest key's baseline.
+	InfieldDriftAlerts int64 `json:"infield_drift_alerts"`
+	Workers            int   `json:"workers"`
+	BusyWorkers        int   `json:"busy_workers"`
 	// Engine is the aggregate of every cached runner's engine counters:
 	// replay-tier hits, execution fallbacks, forced executions, screening
 	// verdicts, and channel-memo traffic (see sim.EngineStats).
@@ -537,6 +546,13 @@ type Config struct {
 	// discarded log stream. Pass obs.Disabled() for a metrics-only manager
 	// (the telemetry-off benchmark baseline).
 	Obs *obs.Telemetry
+	// BaselineDir persists in-field coverage baselines (one JSON file per
+	// manifest key) so drift detection survives daemon restarts; empty
+	// keeps baselines in memory only.
+	BaselineDir string
+	// DriftTolerance is the in-field drift band; the zero value selects
+	// the infield.Tolerance defaults.
+	DriftTolerance infield.Tolerance
 }
 
 type libKey struct {
@@ -571,8 +587,13 @@ type Manager struct {
 	goldenHits, goldenMisses, libHits, libMisses                        *obs.Counter
 	infieldSlices, infieldWorkloadCycles                                *obs.Counter
 	infieldDetections, infieldGap                                       *obs.Gauge
+	infieldDriftAlerts                                                  *obs.Counter
 	simLatency                                                          map[string]*obs.Histogram // per engine tier
 	queueWait                                                           *obs.Histogram
+	infieldSliceLatency                                                 *obs.Histogram
+
+	baselines *infield.BaselineStore
+	driftTol  infield.Tolerance
 }
 
 // New builds a manager with an idle shared pool.
@@ -586,11 +607,13 @@ func New(cfg Config) *Manager {
 		t = obs.NewTelemetry()
 	}
 	m := &Manager{
-		slots:   make(chan struct{}, w),
-		obs:     t,
-		jobs:    make(map[string]*Job),
-		runners: make(map[string]*sim.Runner),
-		libs:    make(map[libKey]*defects.Library),
+		slots:     make(chan struct{}, w),
+		obs:       t,
+		jobs:      make(map[string]*Job),
+		runners:   make(map[string]*sim.Runner),
+		libs:      make(map[libKey]*defects.Library),
+		baselines: infield.NewBaselineStore(cfg.BaselineDir),
+		driftTol:  cfg.DriftTolerance,
 	}
 	reg := t.Reg
 	m.jobsSubmitted = reg.Counter("xtalkd_jobs_submitted_total", "campaign jobs accepted")
@@ -608,10 +631,16 @@ func New(cfg Config) *Manager {
 	m.infieldWorkloadCycles = reg.Counter("xtalkd_infield_workload_cycles_total", "functional-workload cycles interleaved between in-field slices")
 	m.infieldDetections = reg.Gauge("xtalkd_infield_cumulative_detections", "cumulative defects detected by the most recently merged in-field slice")
 	m.infieldGap = reg.Gauge("xtalkd_infield_convergence_gap", "defects not yet detected by the in-field ledger (converges to the one-shot campaign's undetected count)")
+	m.infieldDriftAlerts = reg.Counter("xtalkd_infield_drift_alerts_total",
+		"completed in-field runs whose coverage curve drifted beyond tolerance of their baseline")
+	reg.GaugeFunc("xtalkd_infield_baselines", "in-field coverage baselines held (one per manifest key)",
+		func() float64 { return float64(m.baselines.Len()) })
 	reg.GaugeFunc("xtalkd_workers", "shared defect-run worker pool size",
 		func() float64 { return float64(cap(m.slots)) })
 	reg.GaugeFunc("xtalkd_workers_busy", "defect runs currently holding a pool slot",
 		func() float64 { return float64(len(m.slots)) })
+	reg.GaugeFunc("xtalkd_jobs_pending", "jobs accepted and waiting to start (the queue depth)",
+		func() float64 { return float64(m.jobsInState(Pending)) })
 	reg.CounterFunc("xtalkd_engine_replay_hits_total", "defects resolved by trace replay alone",
 		m.engineStat(func(s sim.EngineStats) int64 { return s.ReplayHits }))
 	reg.CounterFunc("xtalkd_engine_fallbacks_total", "auto-engine runs that fell back to execution",
@@ -642,8 +671,52 @@ func New(cfg Config) *Manager {
 	}
 	m.queueWait = reg.Histogram("xtalkd_job_queue_wait_seconds",
 		"delay between job acceptance and its run starting", nil)
+	m.infieldSliceLatency = reg.Histogram("xtalkd_infield_slice_seconds",
+		"one in-field test slice's wall-clock latency (run + merge)", nil)
+	// Default service objectives, evaluated by the SLO engine's tick loop
+	// (cmd/xtalkd). The latency thresholds round up to the enclosing
+	// DurationBuckets bound; see Histogram.CountLE.
+	t.SLO.Add(obs.Objective{
+		Name:        "infield_slice_latency",
+		Description: "in-field test slices stay under 150 ms (a slice is a small interruption of the functional workload, not a full campaign)",
+		Source:      obs.HistogramLatencySource(m.infieldSliceLatency, 0.15),
+		Budget:      0.01,
+	})
+	t.SLO.Add(obs.Objective{
+		Name:        "job_queue_wait",
+		Description: "jobs start within ~1 s of acceptance",
+		Source:      obs.HistogramLatencySource(m.queueWait, 1.0),
+		Budget:      0.05,
+	})
+	t.SLO.Add(obs.Objective{
+		Name:        "degraded_execute_ratio",
+		Description: "replay-precondition degradations stay rare relative to total defect runs",
+		Source: obs.RatioSource(
+			func() float64 { return float64(m.defectsSimulated.Value()) },
+			m.engineStat(func(s sim.EngineStats) int64 { return s.DegradedExecutes })),
+		Budget: 0.05,
+	})
 	return m
 }
+
+// jobsInState counts jobs currently in the given state (scrape-time).
+func (m *Manager) jobsInState(s State) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, j := range m.jobs {
+		j.mu.Lock()
+		if j.state == s {
+			n++
+		}
+		j.mu.Unlock()
+	}
+	return n
+}
+
+// Baselines exposes the in-field drift baseline store (tests and the drift
+// check use it).
+func (m *Manager) Baselines() *infield.BaselineStore { return m.baselines }
 
 // engineStat builds a scrape-time aggregate over every cached runner's
 // engine counters.
@@ -677,12 +750,16 @@ func (m *Manager) HealthFacts() map[string]any {
 	}
 	jobs := len(m.jobs)
 	m.mu.Unlock()
-	return map[string]any{
+	facts := map[string]any{
 		"workers":       cap(m.slots),
 		"busy_workers":  len(m.slots),
 		"jobs":          jobs,
 		"jobs_by_state": byState,
 	}
+	if sum := m.obs.SLO.Summary(); sum != nil {
+		facts["alerts"] = sum
+	}
+	return facts
 }
 
 // Metrics snapshots the counters.
@@ -720,6 +797,7 @@ func (m *Manager) Metrics() Metrics {
 		InfieldDetections:     m.infieldDetections.Value(),
 		InfieldGap:            m.infieldGap.Value(),
 		InfieldWorkloadCycles: m.infieldWorkloadCycles.Value(),
+		InfieldDriftAlerts:    m.infieldDriftAlerts.Value(),
 		Workers:               cap(m.slots),
 		BusyWorkers:           len(m.slots),
 	}

@@ -20,8 +20,9 @@ import (
 //	GET    /v1/campaigns/{id}/watch  NDJSON stream of progress events
 //	POST   /v1/campaigns/{id}/resume restart a canceled/failed job
 //	DELETE /v1/campaigns/{id}        cancel
-//	GET    /healthz                  liveness
+//	GET    /healthz                  liveness (with alert summary)
 //	GET    /metrics                  text metrics exposition
+//	GET    /alerts                   SLO alert list + summary
 type Server struct {
 	m   *Manager
 	mux *http.ServeMux
@@ -63,6 +64,7 @@ func NewServerWithInfo(m *Manager, info ServerInfo) *Server {
 	s.mux.HandleFunc("DELETE /v1/campaigns/{id}", s.cancel)
 	s.mux.HandleFunc("GET /healthz", HealthzHandler(info.Role, info.Started, m.HealthFacts))
 	s.mux.HandleFunc("GET /metrics", m.Obs().MetricsHandler())
+	s.mux.Handle("GET /alerts", m.Obs().SLO.AlertsHandler())
 	s.mux.HandleFunc("GET /debug/events", m.Obs().EventsHandler())
 	s.mux.HandleFunc("GET /debug/trace/{id}", m.Obs().TraceHandler())
 	return s

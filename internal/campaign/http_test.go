@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -273,7 +274,7 @@ func TestHTTPWatchKeepAlive(t *testing.T) {
 		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
 			t.Fatalf("bad event %q: %v", sc.Text(), err)
 		}
-		if events > 0 && p == last {
+		if events > 0 && reflect.DeepEqual(p, last) {
 			keepAlives++
 			if keepAlives >= 3 {
 				break // proven; stop streaming

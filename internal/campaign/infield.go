@@ -121,6 +121,7 @@ func (m *Manager) executeInfield(ctx context.Context, job *Job) (*sim.CampaignRe
 		return nil, nil, err
 	}
 	var lastWorkload uint64
+	var sliceStart time.Time // set by RunSlice, observed at the merge
 	sched := &infield.Scheduler{
 		Manifest: manifest,
 		Ledger:   ledger,
@@ -128,6 +129,9 @@ func (m *Manager) executeInfield(ctx context.Context, job *Job) (*sim.CampaignRe
 		Interval: time.Duration(spec.IntervalMS) * time.Millisecond,
 		RunPhase: m.phaseRunner(job, spec, setup),
 		RunSlice: func(ctx context.Context, sl infield.Slice) ([]sim.Outcome, error) {
+			if m.obs.Enabled() {
+				sliceStart = time.Now()
+			}
 			job.setPhase(PhaseSimulate)
 			sub, err := infield.SubPlan(plan, sl)
 			if err != nil {
@@ -170,6 +174,9 @@ func (m *Manager) executeInfield(ctx context.Context, job *Job) (*sim.CampaignRe
 			return res.Outcomes, nil
 		},
 		OnMerge: func(sl infield.Slice, pt infield.CoveragePoint) {
+			if m.obs.Enabled() && !sliceStart.IsZero() {
+				m.infieldSliceLatency.ObserveSince(sliceStart)
+			}
 			m.infieldSlices.Inc()
 			m.infieldDetections.Set(int64(pt.Detected))
 			m.infieldGap.Set(int64(pt.ConvergenceGap))
@@ -200,7 +207,13 @@ func (m *Manager) executeInfield(ctx context.Context, job *Job) (*sim.CampaignRe
 	}
 	job.setPhase(PhaseAnalyze)
 	res := ledger.Result(spec.Bus)
-	return res, &Analysis{Infield: report.NewInfieldJSON(spec.TargetName(), spec.Bus, manifest, ledger)}, nil
+	doc := report.NewInfieldJSON(spec.TargetName(), spec.Bus, manifest, ledger)
+	// A completed curve is compared against (or becomes) the manifest key's
+	// baseline: recurring schedules get drift detection for free.
+	if ledger.Complete() {
+		m.checkDrift(job, doc)
+	}
+	return res, &Analysis{Infield: doc}, nil
 }
 
 // phaseRunner executes the functional-workload phase interleaved before each

@@ -87,6 +87,11 @@ type workerState struct {
 	expired  bool // TTL expiry already recorded, so the event fires once
 	shards   atomic.Int64
 	failures atomic.Int64
+
+	// Federation state: the last parsed registry exposition this worker
+	// pushed on its heartbeat, and when it arrived (staleness source).
+	snapshot   *obs.Snapshot
+	snapshotAt time.Time
 }
 
 // Metrics is a snapshot of the coordinator's counters.
@@ -154,6 +159,12 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 		func() float64 { return float64(len(c.Workers())) })
 	reg.GaugeFunc("xtalkd_fleet_workers_alive", "registered workers currently alive",
 		func() float64 { return float64(c.LiveWorkers()) })
+	t.SLO.Add(obs.Objective{
+		Name:        "shard_roundtrip",
+		Description: "successful shard round-trips complete within ~4.2 s",
+		Source:      obs.HistogramLatencySource(c.shardRoundtrip, 4.2),
+		Budget:      0.05,
+	})
 	return c
 }
 
@@ -161,21 +172,34 @@ func NewCoordinator(cfg CoordinatorConfig) *Coordinator {
 func (c *Coordinator) Obs() *obs.Telemetry { return c.obs }
 
 // HealthFacts snapshots live registry facts for /healthz: registered and
-// alive workers and in-flight shards.
+// alive workers, in-flight shards, the alert summary, and per-worker scrape
+// staleness (seconds since each worker last pushed its registry).
 func (c *Coordinator) HealthFacts() map[string]any {
+	now := time.Now()
 	c.mu.Lock()
 	total, alive := len(c.workers), 0
+	staleness := make(map[string]float64, len(c.workers))
 	for _, w := range c.workers {
 		if c.aliveLocked(w) {
 			alive++
 		}
+		if !w.snapshotAt.IsZero() {
+			staleness[w.url] = now.Sub(w.snapshotAt).Seconds()
+		}
 	}
 	c.mu.Unlock()
-	return map[string]any{
+	facts := map[string]any{
 		"workers":         total,
 		"workers_alive":   alive,
 		"shards_inflight": c.shardsInflight.Value(),
 	}
+	if len(staleness) > 0 {
+		facts["scrape_staleness_seconds"] = staleness
+	}
+	if sum := c.obs.SLO.Summary(); sum != nil {
+		facts["alerts"] = sum
+	}
+	return facts
 }
 
 // Register adds a worker or refreshes its heartbeat. A worker marked dead

@@ -20,8 +20,14 @@ import (
 //	                          the body is the campaign-result JSON
 //	                          (byte-identical to a single-node run), with
 //	                          fleet attribution in X-Fleet-* headers
-//	GET  /healthz             role, uptime, build info, live registry facts
-//	GET  /metrics             Prometheus text exposition (fleet families)
+//	GET  /healthz             role, uptime, build info, live registry facts,
+//	                          alert summary, per-worker scrape staleness
+//	GET  /metrics             fleet-wide Prometheus text exposition: the
+//	                          coordinator registry merged with every
+//	                          worker's heartbeat-pushed snapshot
+//	GET  /fleet/status        machine-readable fleet snapshot (workers,
+//	                          slots, queue depth, engines, staleness)
+//	GET  /alerts              SLO alert list + summary
 //	GET  /debug/events        flight-recorder ring as JSON
 //	GET  /debug/trace/{id}    one campaign trace as NDJSON (see
 //	                          FleetStats.TraceID / the X-Fleet-Trace header)
@@ -37,18 +43,37 @@ func NewCoordinatorServer(c *Coordinator) *CoordinatorServer {
 	s.mux.HandleFunc("GET /v1/fleet/workers", s.workers)
 	s.mux.HandleFunc("POST /v1/fleet/campaigns", s.campaign)
 	s.mux.HandleFunc("GET /healthz", campaign.HealthzHandler("coordinator", time.Now(), c.HealthFacts))
-	s.mux.HandleFunc("GET /metrics", c.Obs().MetricsHandler())
+	s.mux.HandleFunc("GET /metrics", s.metrics)
+	s.mux.HandleFunc("GET /fleet/status", s.status)
+	s.mux.Handle("GET /alerts", c.Obs().SLO.AlertsHandler())
 	s.mux.HandleFunc("GET /debug/events", c.Obs().EventsHandler())
 	s.mux.HandleFunc("GET /debug/trace/{id}", c.Obs().TraceHandler())
 	return s
 }
 
+func (s *CoordinatorServer) metrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if err := s.c.WriteFederatedMetrics(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+func (s *CoordinatorServer) status(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(s.c.FleetStatus())
+}
+
 // ServeHTTP implements http.Handler.
 func (s *CoordinatorServer) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
 
-// RegisterRequest is a worker's registration/heartbeat body.
+// RegisterRequest is a worker's registration/heartbeat body. Metrics, when
+// non-empty, is the worker's rendered Prometheus exposition: the heartbeat
+// doubles as the federation scrape so no reverse connection is needed.
 type RegisterRequest struct {
-	URL string `json:"url"`
+	URL     string `json:"url"`
+	Metrics string `json:"metrics,omitempty"`
 }
 
 func (s *CoordinatorServer) register(w http.ResponseWriter, r *http.Request) {
@@ -62,6 +87,12 @@ func (s *CoordinatorServer) register(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.c.Register(req.URL)
+	if req.Metrics != "" {
+		if err := s.c.IngestMetrics(req.URL, req.Metrics); err != nil {
+			writeJSONError(w, http.StatusBadRequest, err)
+			return
+		}
+	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(s.c.Workers())
 }

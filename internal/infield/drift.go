@@ -1,0 +1,248 @@
+package infield
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+)
+
+// Drift detection compares a recurring schedule's coverage-over-time curve
+// against the first completed run under the same manifest key (the
+// plan-hash/seed/σ/Cth/slice-budget identity). Because the slicer and the
+// simulation engines are deterministic, a byte-identical rerun reproduces
+// the baseline curve exactly — any deviation beyond the tolerance band is
+// evidence the system under test (or the test system itself) changed:
+// convergence arriving later means activations are being masked, a lower
+// final coverage means defects stopped being observable.
+
+// Verdict values of a DriftReport.
+const (
+	// VerdictBaseline: first completed run under this key; curve saved.
+	VerdictBaseline = "baseline"
+	// VerdictOK: curve within tolerance of the baseline.
+	VerdictOK = "ok"
+	// VerdictDrift: the curve degraded beyond tolerance.
+	VerdictDrift = "drift"
+)
+
+// Tolerance is the drift band. The zero value selects the noted defaults
+// via withDefaults; to demand exact reproduction set Exact.
+type Tolerance struct {
+	// CoverageDrop is the maximum allowed per-point coverage shortfall
+	// against the baseline point at the same merge position. Default 0.02.
+	CoverageDrop float64 `json:"coverage_drop"`
+	// FinalDrop is the maximum allowed drop of final coverage. Default 0 —
+	// a deterministic schedule must reach the same final coverage.
+	FinalDrop float64 `json:"final_drop"`
+	// SlackSlices is how many extra slices the run may take to reach the
+	// baseline's final coverage before convergence counts as slowed.
+	// Default 1.
+	SlackSlices int `json:"slack_slices"`
+	// Exact suppresses the defaults, demanding a point-for-point match.
+	Exact bool `json:"exact,omitempty"`
+}
+
+func (t Tolerance) withDefaults() Tolerance {
+	if t.Exact {
+		return t
+	}
+	if t.CoverageDrop == 0 {
+		t.CoverageDrop = 0.02
+	}
+	if t.SlackSlices == 0 {
+		t.SlackSlices = 1
+	}
+	return t
+}
+
+// Baseline is the persisted reference curve for one manifest key.
+type Baseline struct {
+	Key     string          `json:"key"`
+	SavedAt time.Time       `json:"saved_at"`
+	Points  []CoveragePoint `json:"points"`
+}
+
+// DriftReport is the verdict of one curve comparison.
+type DriftReport struct {
+	Verdict string   `json:"verdict"`
+	Reasons []string `json:"reasons,omitempty"`
+	// MaxCoverageDrop is the worst per-point coverage shortfall observed
+	// (0 when the curve never dips below the baseline).
+	MaxCoverageDrop float64 `json:"max_coverage_drop"`
+	// Final coverage of baseline and current run.
+	BaselineFinalCoverage float64 `json:"baseline_final_coverage"`
+	FinalCoverage         float64 `json:"final_coverage"`
+	// Slices needed to reach the baseline's final coverage (current run 0
+	// when it never reaches it).
+	BaselineSlicesToFinal int `json:"baseline_slices_to_final"`
+	SlicesToFinal         int `json:"slices_to_final"`
+}
+
+// Drifted reports whether the verdict is VerdictDrift.
+func (r DriftReport) Drifted() bool { return r.Verdict == VerdictDrift }
+
+// slicesTo returns how many merges the curve needs to first reach target
+// coverage, or 0 if it never does.
+func slicesTo(pts []CoveragePoint, target float64) int {
+	for i, p := range pts {
+		if p.Coverage >= target {
+			return i + 1
+		}
+	}
+	return 0
+}
+
+// Compare evaluates a run's curve against the baseline under the tolerance
+// band. A byte-identical rerun yields VerdictOK with no reasons; a curve
+// that converges slower than SlackSlices extra merges, dips more than
+// CoverageDrop below the baseline at any merge position, or ends more than
+// FinalDrop below the baseline's final coverage yields VerdictDrift.
+func Compare(base *Baseline, pts []CoveragePoint, tol Tolerance) DriftReport {
+	tol = tol.withDefaults()
+	rep := DriftReport{Verdict: VerdictOK}
+	if base == nil || len(base.Points) == 0 {
+		rep.Verdict = VerdictBaseline
+		return rep
+	}
+	if len(pts) == 0 {
+		rep.Verdict = VerdictDrift
+		rep.Reasons = append(rep.Reasons, "run produced no coverage points")
+		return rep
+	}
+	basePts := base.Points
+	rep.BaselineFinalCoverage = basePts[len(basePts)-1].Coverage
+	rep.FinalCoverage = pts[len(pts)-1].Coverage
+
+	// Per-point band: compare coverage at equal merge positions.
+	n := len(basePts)
+	if len(pts) < n {
+		n = len(pts)
+	}
+	worstAt := -1
+	for i := 0; i < n; i++ {
+		drop := basePts[i].Coverage - pts[i].Coverage
+		if drop > rep.MaxCoverageDrop {
+			rep.MaxCoverageDrop = drop
+			worstAt = i
+		}
+	}
+	if rep.MaxCoverageDrop > tol.CoverageDrop {
+		rep.Verdict = VerdictDrift
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf(
+			"coverage at merge %d dropped %.4f below baseline (tolerance %.4f)",
+			worstAt+1, rep.MaxCoverageDrop, tol.CoverageDrop))
+	}
+
+	// Final coverage: the deterministic schedule must land where it did.
+	if drop := rep.BaselineFinalCoverage - rep.FinalCoverage; drop > tol.FinalDrop {
+		rep.Verdict = VerdictDrift
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf(
+			"final coverage %.4f fell %.4f below baseline %.4f (tolerance %.4f)",
+			rep.FinalCoverage, drop, rep.BaselineFinalCoverage, tol.FinalDrop))
+	}
+
+	// Convergence speed: merges needed to reach the baseline's final
+	// coverage (minus the final tolerance, so a within-band final still
+	// defines a reachable target).
+	target := rep.BaselineFinalCoverage - tol.FinalDrop
+	rep.BaselineSlicesToFinal = slicesTo(basePts, target)
+	rep.SlicesToFinal = slicesTo(pts, target)
+	switch {
+	case rep.SlicesToFinal == 0:
+		if rep.Verdict != VerdictDrift {
+			rep.Verdict = VerdictDrift
+			rep.Reasons = append(rep.Reasons, fmt.Sprintf(
+				"run never reached the baseline's final coverage %.4f", target))
+		}
+	case rep.SlicesToFinal > rep.BaselineSlicesToFinal+tol.SlackSlices:
+		rep.Verdict = VerdictDrift
+		rep.Reasons = append(rep.Reasons, fmt.Sprintf(
+			"convergence slowed: %d merges to reach %.4f coverage vs baseline %d (+%d slack)",
+			rep.SlicesToFinal, target, rep.BaselineSlicesToFinal, tol.SlackSlices))
+	}
+	return rep
+}
+
+// BaselineStore persists baselines, in memory and optionally on disk (one
+// JSON file per manifest key under dir; keys are hex digests, so they are
+// filename-safe). The store is safe for concurrent use.
+type BaselineStore struct {
+	mu  sync.Mutex
+	dir string
+	mem map[string]*Baseline
+}
+
+// NewBaselineStore builds a store. dir == "" keeps baselines in memory
+// only; otherwise baselines are written to and recovered from dir.
+func NewBaselineStore(dir string) *BaselineStore {
+	return &BaselineStore{dir: dir, mem: make(map[string]*Baseline)}
+}
+
+func (s *BaselineStore) path(key string) string {
+	return filepath.Join(s.dir, key+".json")
+}
+
+// Get returns the baseline for a key, falling back to disk on a memory
+// miss (so a restarted daemon keeps its history).
+func (s *BaselineStore) Get(key string) (*Baseline, bool) {
+	if s == nil {
+		return nil, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if b, ok := s.mem[key]; ok {
+		return b, true
+	}
+	if s.dir == "" {
+		return nil, false
+	}
+	data, err := os.ReadFile(s.path(key))
+	if err != nil {
+		return nil, false
+	}
+	var b Baseline
+	if err := json.Unmarshal(data, &b); err != nil || b.Key != key {
+		return nil, false
+	}
+	s.mem[key] = &b
+	return &b, true
+}
+
+// Put stores a baseline in memory and, when the store has a directory,
+// atomically on disk (tmp + rename).
+func (s *BaselineStore) Put(b *Baseline) error {
+	if s == nil || b == nil || b.Key == "" {
+		return fmt.Errorf("infield: baseline without key")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.mem[b.Key] = b
+	if s.dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := s.path(b.Key) + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, s.path(b.Key))
+}
+
+// Len returns how many baselines are held in memory.
+func (s *BaselineStore) Len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.mem)
+}

@@ -1,0 +1,156 @@
+package infield
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// curve builds a coverage curve from cumulative coverage fractions.
+func curve(coverages ...float64) []CoveragePoint {
+	pts := make([]CoveragePoint, len(coverages))
+	for i, c := range coverages {
+		pts[i] = CoveragePoint{Slice: i, Merged: i + 1, Coverage: c}
+	}
+	return pts
+}
+
+func baselineOf(coverages ...float64) *Baseline {
+	return &Baseline{Key: "k", SavedAt: time.Now(), Points: curve(coverages...)}
+}
+
+func TestCompareFirstRunIsBaseline(t *testing.T) {
+	if rep := Compare(nil, curve(0.5, 0.9), Tolerance{}); rep.Verdict != VerdictBaseline {
+		t.Fatalf("nil baseline verdict = %s, want %s", rep.Verdict, VerdictBaseline)
+	}
+	if rep := Compare(&Baseline{Key: "k"}, curve(0.5), Tolerance{}); rep.Verdict != VerdictBaseline {
+		t.Fatalf("empty baseline verdict = %s, want %s", rep.Verdict, VerdictBaseline)
+	}
+}
+
+// TestCompareIdenticalRerunIsSilent is the acceptance case: a byte-identical
+// rerun of a deterministic schedule must not raise drift.
+func TestCompareIdenticalRerunIsSilent(t *testing.T) {
+	base := baselineOf(0.3, 0.6, 0.85, 0.92, 0.92)
+	rep := Compare(base, curve(0.3, 0.6, 0.85, 0.92, 0.92), Tolerance{})
+	if rep.Verdict != VerdictOK || len(rep.Reasons) != 0 {
+		t.Fatalf("identical rerun = %+v, want silent ok", rep)
+	}
+	if rep.MaxCoverageDrop != 0 {
+		t.Fatalf("identical rerun MaxCoverageDrop = %v", rep.MaxCoverageDrop)
+	}
+	if rep.SlicesToFinal != rep.BaselineSlicesToFinal {
+		t.Fatalf("identical rerun convergence %d vs baseline %d",
+			rep.SlicesToFinal, rep.BaselineSlicesToFinal)
+	}
+}
+
+func TestComparePerPointDrop(t *testing.T) {
+	base := baselineOf(0.3, 0.6, 0.9)
+	// Mid-curve dip beyond the 0.02 default band, same final coverage.
+	rep := Compare(base, curve(0.3, 0.5, 0.9), Tolerance{})
+	if !rep.Drifted() {
+		t.Fatalf("mid-curve dip verdict = %s, want drift", rep.Verdict)
+	}
+	if rep.MaxCoverageDrop < 0.09 || rep.MaxCoverageDrop > 0.11 {
+		t.Fatalf("MaxCoverageDrop = %v, want ~0.1", rep.MaxCoverageDrop)
+	}
+	// A dip inside the band stays ok.
+	rep = Compare(base, curve(0.29, 0.59, 0.9), Tolerance{})
+	if rep.Drifted() {
+		t.Fatalf("in-band dip verdict = %+v, want ok", rep)
+	}
+}
+
+func TestCompareFinalCoverageDrop(t *testing.T) {
+	base := baselineOf(0.3, 0.6, 0.9)
+	// FinalDrop defaults to 0: any shortfall at the end drifts (the
+	// per-point band does not excuse the final point, and the run also never
+	// reaches the baseline's final coverage).
+	rep := Compare(base, curve(0.3, 0.6, 0.89), Tolerance{CoverageDrop: 0.05})
+	if !rep.Drifted() {
+		t.Fatalf("final shortfall verdict = %+v, want drift", rep)
+	}
+}
+
+func TestCompareSlowedConvergence(t *testing.T) {
+	base := baselineOf(0.5, 0.9, 0.9, 0.9, 0.9, 0.9)
+	// Same final coverage, but it arrives four merges later than the
+	// baseline's two (slack 1 ⇒ three is forgiven, six is not).
+	rep := Compare(base, curve(0.5, 0.6, 0.7, 0.8, 0.85, 0.9), Tolerance{CoverageDrop: 0.5})
+	if !rep.Drifted() {
+		t.Fatalf("slowed convergence verdict = %+v, want drift", rep)
+	}
+	if rep.BaselineSlicesToFinal != 2 || rep.SlicesToFinal != 6 {
+		t.Fatalf("convergence = %d vs baseline %d, want 6 vs 2",
+			rep.SlicesToFinal, rep.BaselineSlicesToFinal)
+	}
+	// One extra merge is within the default slack.
+	rep = Compare(base, curve(0.5, 0.89, 0.9, 0.9, 0.9, 0.9), Tolerance{})
+	if rep.Drifted() {
+		t.Fatalf("one-slice slack verdict = %+v, want ok", rep)
+	}
+}
+
+func TestCompareEmptyRun(t *testing.T) {
+	if rep := Compare(baselineOf(0.5), nil, Tolerance{}); !rep.Drifted() {
+		t.Fatalf("empty run verdict = %s, want drift", rep.Verdict)
+	}
+}
+
+func TestCompareExactTolerance(t *testing.T) {
+	base := baselineOf(0.5, 0.9)
+	if rep := Compare(base, curve(0.4999, 0.9), Tolerance{Exact: true}); !rep.Drifted() {
+		t.Fatalf("exact tolerance forgave a dip: %+v", rep)
+	}
+	if rep := Compare(base, curve(0.5, 0.9), Tolerance{Exact: true}); rep.Drifted() {
+		t.Fatalf("exact tolerance rejected an identical curve: %+v", rep)
+	}
+}
+
+// TestBaselineStorePersistence proves Put/Get round-trips through disk: a
+// second store over the same directory (a restarted daemon) recovers the
+// baseline, and the on-disk file is valid indented JSON.
+func TestBaselineStorePersistence(t *testing.T) {
+	dir := t.TempDir()
+	s := NewBaselineStore(dir)
+	key := "deadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeefdeadbeef"
+	b := &Baseline{Key: key, SavedAt: time.Now().UTC(), Points: curve(0.4, 0.8)}
+	if err := s.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".json")); err != nil {
+		t.Fatalf("baseline file missing: %v", err)
+	}
+
+	restarted := NewBaselineStore(dir)
+	got, ok := restarted.Get(key)
+	if !ok {
+		t.Fatal("restarted store lost the baseline")
+	}
+	if len(got.Points) != 2 || got.Points[1].Coverage != 0.8 {
+		t.Fatalf("recovered baseline = %+v", got)
+	}
+	if _, ok := restarted.Get("0000"); ok {
+		t.Fatal("store returned a baseline for an unknown key")
+	}
+
+	// Memory-only store: no files, still serves.
+	mem := NewBaselineStore("")
+	if err := mem.Put(b); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := mem.Get(key); !ok {
+		t.Fatal("memory store lost the baseline")
+	}
+
+	// Nil store is inert.
+	var nilStore *BaselineStore
+	if _, ok := nilStore.Get(key); ok || nilStore.Len() != 0 {
+		t.Fatal("nil store misbehaved")
+	}
+}

@@ -1,0 +1,506 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements metric federation: parsing a Prometheus text
+// exposition back into a mergeable model, relabeling worker families under
+// the fleet namespace with a worker label, merging snapshots (summing
+// counters/gauges, bucket-wise histogram addition), and re-rendering the
+// merged model with exactly the same byte conventions as
+// Registry.WritePrometheus — so a federated scrape is deterministic for any
+// scrape order and passes the strict exposition linter.
+
+// HistValue is a parsed histogram series: per-bucket (non-cumulative)
+// counts, bucket upper bounds kept as their rendered strings so merging
+// never re-formats a bound, and the running sum.
+type HistValue struct {
+	Bounds []string // rendered bounds, ascending, excluding +Inf
+	Counts []int64  // len(Bounds)+1; last is the +Inf bucket
+	Sum    float64
+}
+
+// SeriesValue is one parsed sample stream. Raw preserves the exact rendered
+// value text for series that are never merged, so federation is a byte-level
+// passthrough for unmerged series; merged series re-render via formatFloat.
+type SeriesValue struct {
+	Labels string // rendered {k="v",...} or ""
+	Value  float64
+	Raw    string
+	Hist   *HistValue
+}
+
+// Family is one parsed metric family.
+type Family struct {
+	Name   string
+	Help   string
+	Kind   string // "counter", "gauge", or "histogram"
+	Series map[string]*SeriesValue
+}
+
+// Snapshot is a parsed exposition: a point-in-time, mergeable view of one
+// registry (or of a whole fleet after federation).
+type Snapshot struct {
+	Families map[string]*Family
+}
+
+// NewSnapshot builds an empty snapshot.
+func NewSnapshot() *Snapshot { return &Snapshot{Families: make(map[string]*Family)} }
+
+// histBuild accumulates one histogram series during parsing (cumulative
+// buckets in exposition order; converted to per-bucket counts at the end).
+type histBuild struct {
+	bounds   []string
+	cum      []int64
+	infSeen  bool
+	infCum   int64
+	sum      float64
+	sumSeen  bool
+	count    int64
+	seenCnt  bool
+	labelStr string
+}
+
+// ParseExposition parses a Prometheus text exposition produced by
+// Registry.WritePrometheus (HELP and TYPE comments, counter/gauge samples,
+// histogram _bucket/_sum/_count expansions) into a Snapshot.
+func ParseExposition(r io.Reader) (*Snapshot, error) {
+	snap := NewSnapshot()
+	hists := make(map[string]map[string]*histBuild) // family -> base labels -> build
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := line[len("# HELP "):]
+			name, help, _ := strings.Cut(rest, " ")
+			if name == "" {
+				return nil, fmt.Errorf("obs: line %d: HELP without name", lineNo)
+			}
+			if _, ok := snap.Families[name]; !ok {
+				snap.Families[name] = &Family{Name: name, Series: make(map[string]*SeriesValue)}
+			}
+			snap.Families[name].Help = unescapeHelp(help)
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			rest := line[len("# TYPE "):]
+			name, kind, ok := strings.Cut(rest, " ")
+			if !ok || name == "" {
+				return nil, fmt.Errorf("obs: line %d: malformed TYPE", lineNo)
+			}
+			f, okf := snap.Families[name]
+			if !okf {
+				f = &Family{Name: name, Series: make(map[string]*SeriesValue)}
+				snap.Families[name] = f
+			}
+			switch kind {
+			case "counter", "gauge", "histogram":
+				f.Kind = kind
+			default:
+				return nil, fmt.Errorf("obs: line %d: unknown TYPE %q", lineNo, kind)
+			}
+			if kind == "histogram" {
+				hists[name] = make(map[string]*histBuild)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Sample line: name{labels} value | name value
+		var name, labels, valueText string
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			j := strings.LastIndexByte(line, '}')
+			if j < i {
+				return nil, fmt.Errorf("obs: line %d: unbalanced braces", lineNo)
+			}
+			name = line[:i]
+			labels = line[i : j+1]
+			valueText = strings.TrimSpace(line[j+1:])
+		} else {
+			var ok bool
+			name, valueText, ok = strings.Cut(line, " ")
+			if !ok {
+				return nil, fmt.Errorf("obs: line %d: malformed sample", lineNo)
+			}
+		}
+		v, err := strconv.ParseFloat(valueText, 64)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: bad value %q: %v", lineNo, valueText, err)
+		}
+		// Histogram expansion suffixes attach to the base family.
+		if base, suffix, ok := histSuffix(name, hists); ok {
+			byLbl := hists[base]
+			switch suffix {
+			case "_bucket":
+				ls, err := ParseLabels(labels)
+				if err != nil {
+					return nil, fmt.Errorf("obs: line %d: %v", lineNo, err)
+				}
+				le := ""
+				baseLs := ls[:0]
+				for _, l := range ls {
+					if l.Key == "le" {
+						le = l.Value
+						continue
+					}
+					baseLs = append(baseLs, l)
+				}
+				if le == "" {
+					return nil, fmt.Errorf("obs: line %d: bucket without le", lineNo)
+				}
+				key := renderLabels(baseLs)
+				hb := byLbl[key]
+				if hb == nil {
+					hb = &histBuild{labelStr: key}
+					byLbl[key] = hb
+				}
+				if le == "+Inf" {
+					hb.infSeen = true
+					hb.infCum = int64(v)
+				} else {
+					hb.bounds = append(hb.bounds, le)
+					hb.cum = append(hb.cum, int64(v))
+				}
+			case "_sum", "_count":
+				key := labels
+				hb := byLbl[key]
+				if hb == nil {
+					hb = &histBuild{labelStr: key}
+					byLbl[key] = hb
+				}
+				if suffix == "_sum" {
+					hb.sum = v
+					hb.sumSeen = true
+				} else {
+					hb.count = int64(v)
+					hb.seenCnt = true
+				}
+			}
+			continue
+		}
+		f, ok := snap.Families[name]
+		if !ok {
+			return nil, fmt.Errorf("obs: line %d: sample for undeclared family %s", lineNo, name)
+		}
+		if _, dup := f.Series[labels]; dup {
+			return nil, fmt.Errorf("obs: line %d: duplicate series %s%s", lineNo, name, labels)
+		}
+		f.Series[labels] = &SeriesValue{Labels: labels, Value: v, Raw: valueText}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	// Assemble parsed histograms: cumulative -> per-bucket.
+	for famName, byLbl := range hists {
+		f := snap.Families[famName]
+		for key, hb := range byLbl {
+			if !hb.infSeen || !hb.sumSeen || !hb.seenCnt {
+				return nil, fmt.Errorf("obs: histogram %s%s missing _bucket/_sum/_count", famName, key)
+			}
+			counts := make([]int64, len(hb.bounds)+1)
+			var prev int64
+			for i, c := range hb.cum {
+				if c < prev {
+					return nil, fmt.Errorf("obs: histogram %s%s non-cumulative buckets", famName, key)
+				}
+				counts[i] = c - prev
+				prev = c
+			}
+			counts[len(hb.bounds)] = hb.infCum - prev
+			f.Series[key] = &SeriesValue{Labels: key, Hist: &HistValue{
+				Bounds: hb.bounds, Counts: counts, Sum: hb.sum,
+			}}
+		}
+	}
+	return snap, nil
+}
+
+// histSuffix reports whether name is a histogram expansion sample
+// (base family declared as histogram + _bucket/_sum/_count suffix).
+func histSuffix(name string, hists map[string]map[string]*histBuild) (base, suffix string, ok bool) {
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if strings.HasSuffix(name, suf) {
+			b := strings.TrimSuffix(name, suf)
+			if _, declared := hists[b]; declared {
+				return b, suf, true
+			}
+		}
+	}
+	return "", "", false
+}
+
+// ParseLabels parses a rendered label string ({k="v",...} or "") back into
+// labels, undoing exposition escaping.
+func ParseLabels(s string) ([]Label, error) {
+	if s == "" {
+		return nil, nil
+	}
+	if len(s) < 2 || s[0] != '{' || s[len(s)-1] != '}' {
+		return nil, fmt.Errorf("malformed label string %q", s)
+	}
+	var out []Label
+	i := 1
+	for i < len(s)-1 {
+		j := strings.IndexByte(s[i:], '=')
+		if j < 0 {
+			return nil, fmt.Errorf("malformed label string %q", s)
+		}
+		key := s[i : i+j]
+		i += j + 1
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("malformed label string %q", s)
+		}
+		i++
+		var b strings.Builder
+		for i < len(s) {
+			c := s[i]
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case '\\':
+					b.WriteByte('\\')
+				case 'n':
+					b.WriteByte('\n')
+				case '"':
+					b.WriteByte('"')
+				default:
+					b.WriteByte(c)
+					b.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			if c == '"' {
+				break
+			}
+			b.WriteByte(c)
+			i++
+		}
+		if i >= len(s) || s[i] != '"' {
+			return nil, fmt.Errorf("unterminated label value in %q", s)
+		}
+		i++
+		out = append(out, Label{Key: key, Value: b.String()})
+		if i < len(s)-1 {
+			if s[i] != ',' {
+				return nil, fmt.Errorf("malformed label string %q", s)
+			}
+			i++
+		}
+	}
+	return out, nil
+}
+
+func unescapeHelp(h string) string {
+	r := strings.NewReplacer(`\n`, "\n", `\\`, `\`)
+	return r.Replace(h)
+}
+
+// FleetFamilyName maps a worker-local family name into the fleet namespace:
+// already-fleet families keep their name, other xtalkd_* families move
+// under xtalkd_fleet_*, and anything else is prefixed wholesale.
+func FleetFamilyName(name string) string {
+	if strings.HasPrefix(name, "xtalkd_fleet_") {
+		return name
+	}
+	if strings.HasPrefix(name, "xtalkd_") {
+		return "xtalkd_fleet_" + strings.TrimPrefix(name, "xtalkd_")
+	}
+	return "xtalkd_fleet_" + name
+}
+
+// Relabel returns a copy of the snapshot with every family renamed via
+// FleetFamilyName and every series tagged with a worker label.
+func (s *Snapshot) Relabel(worker string) (*Snapshot, error) {
+	if s == nil {
+		return nil, nil
+	}
+	out := NewSnapshot()
+	for _, f := range s.Families {
+		name := FleetFamilyName(f.Name)
+		nf, ok := out.Families[name]
+		if !ok {
+			nf = &Family{Name: name, Help: f.Help, Kind: f.Kind,
+				Series: make(map[string]*SeriesValue, len(f.Series))}
+			out.Families[name] = nf
+		}
+		for _, sv := range f.Series {
+			ls, err := ParseLabels(sv.Labels)
+			if err != nil {
+				return nil, fmt.Errorf("obs: relabel %s: %v", f.Name, err)
+			}
+			ls = append(ls, Label{Key: "worker", Value: worker})
+			key := renderLabels(ls)
+			nsv := &SeriesValue{Labels: key, Value: sv.Value, Raw: sv.Raw}
+			if sv.Hist != nil {
+				nsv.Hist = &HistValue{
+					Bounds: append([]string(nil), sv.Hist.Bounds...),
+					Counts: append([]int64(nil), sv.Hist.Counts...),
+					Sum:    sv.Hist.Sum,
+				}
+			}
+			nf.Series[key] = nsv
+		}
+	}
+	return out, nil
+}
+
+// Add merges src into s: counters and gauges sum, histograms add
+// bucket-wise (bounds must agree), and series or families absent from s are
+// deep-copied in. Merged series lose their Raw passthrough and re-render
+// via formatFloat.
+func (s *Snapshot) Add(src *Snapshot) error {
+	if s == nil || src == nil {
+		return nil
+	}
+	for name, sf := range src.Families {
+		f, ok := s.Families[name]
+		if !ok {
+			f = &Family{Name: name, Help: sf.Help, Kind: sf.Kind,
+				Series: make(map[string]*SeriesValue, len(sf.Series))}
+			s.Families[name] = f
+		} else if f.Kind != sf.Kind {
+			return fmt.Errorf("obs: federate %s: kind %s vs %s", name, f.Kind, sf.Kind)
+		}
+		for key, sv := range sf.Series {
+			cur, ok := f.Series[key]
+			if !ok {
+				cp := &SeriesValue{Labels: sv.Labels, Value: sv.Value, Raw: sv.Raw}
+				if sv.Hist != nil {
+					cp.Hist = &HistValue{
+						Bounds: append([]string(nil), sv.Hist.Bounds...),
+						Counts: append([]int64(nil), sv.Hist.Counts...),
+						Sum:    sv.Hist.Sum,
+					}
+				}
+				f.Series[key] = cp
+				continue
+			}
+			if (cur.Hist == nil) != (sv.Hist == nil) {
+				return fmt.Errorf("obs: federate %s%s: histogram vs scalar", name, key)
+			}
+			if cur.Hist == nil {
+				cur.Value += sv.Value
+				cur.Raw = ""
+				continue
+			}
+			if len(cur.Hist.Bounds) != len(sv.Hist.Bounds) {
+				return fmt.Errorf("obs: federate %s%s: bucket bound mismatch", name, key)
+			}
+			for i, b := range cur.Hist.Bounds {
+				if b != sv.Hist.Bounds[i] {
+					return fmt.Errorf("obs: federate %s%s: bucket bound mismatch", name, key)
+				}
+			}
+			for i := range cur.Hist.Counts {
+				cur.Hist.Counts[i] += sv.Hist.Counts[i]
+			}
+			cur.Hist.Sum += sv.Hist.Sum
+		}
+	}
+	return nil
+}
+
+// Federate merges per-worker snapshots into one fleet snapshot, iterating
+// workers in sorted name order so the result is byte-stable for any scrape
+// arrival order.
+func Federate(snaps map[string]*Snapshot) (*Snapshot, error) {
+	out := NewSnapshot()
+	names := make([]string, 0, len(snaps))
+	for name := range snaps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rl, err := snaps[name].Relabel(name)
+		if err != nil {
+			return nil, err
+		}
+		if err := out.Add(rl); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Value looks up a scalar series value by family name and rendered label
+// string ("" for the unlabeled series).
+func (s *Snapshot) Value(name, labels string) (float64, bool) {
+	if s == nil {
+		return 0, false
+	}
+	f, ok := s.Families[name]
+	if !ok {
+		return 0, false
+	}
+	sv, ok := f.Series[labels]
+	if !ok || sv.Hist != nil {
+		return 0, false
+	}
+	return sv.Value, true
+}
+
+// WritePrometheus renders the snapshot with the same conventions as
+// Registry.WritePrometheus: families in name order, series in label-string
+// order, histograms as cumulative buckets with le merged into the labels.
+func (s *Snapshot) WritePrometheus(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	names := make([]string, 0, len(s.Families))
+	for name := range s.Families {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	for _, name := range names {
+		f := s.Families[name]
+		help := strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(f.Help)
+		fmt.Fprintf(bw, "# HELP %s %s\n", f.Name, help)
+		fmt.Fprintf(bw, "# TYPE %s %s\n", f.Name, f.Kind)
+		keys := make([]string, 0, len(f.Series))
+		for key := range f.Series {
+			keys = append(keys, key)
+		}
+		sort.Strings(keys)
+		for _, key := range keys {
+			sv := f.Series[key]
+			if sv.Hist == nil {
+				if sv.Raw != "" {
+					fmt.Fprintf(bw, "%s%s %s\n", f.Name, sv.Labels, sv.Raw)
+				} else {
+					fmt.Fprintf(bw, "%s%s %s\n", f.Name, sv.Labels, formatFloat(sv.Value))
+				}
+				continue
+			}
+			merge := func(le string) string {
+				if sv.Labels == "" {
+					return `{le="` + le + `"}`
+				}
+				return sv.Labels[:len(sv.Labels)-1] + `,le="` + le + `"}`
+			}
+			var cum int64
+			for i, bound := range sv.Hist.Bounds {
+				cum += sv.Hist.Counts[i]
+				fmt.Fprintf(bw, "%s_bucket%s %d\n", f.Name, merge(bound), cum)
+			}
+			cum += sv.Hist.Counts[len(sv.Hist.Bounds)]
+			fmt.Fprintf(bw, "%s_bucket%s %d\n", f.Name, merge("+Inf"), cum)
+			fmt.Fprintf(bw, "%s_sum%s %s\n", f.Name, sv.Labels, formatFloat(sv.Hist.Sum))
+			fmt.Fprintf(bw, "%s_count%s %d\n", f.Name, sv.Labels, cum)
+		}
+	}
+	return bw.Flush()
+}

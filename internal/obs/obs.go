@@ -30,6 +30,9 @@ type Telemetry struct {
 	Tracer *Tracer
 	Rec    *Recorder
 	Log    *slog.Logger
+	// SLO is the burn-rate alert evaluator. Subsystems register objectives
+	// against it; nil (disabled telemetry) makes every SLO call a no-op.
+	SLO *Evaluator
 
 	enabled bool
 }
@@ -50,13 +53,19 @@ func NewTelemetry() *Telemetry {
 // NewTelemetryWithLogger is NewTelemetry with flight-recorder events
 // mirrored to the given structured logger.
 func NewTelemetryWithLogger(log *slog.Logger) *Telemetry {
-	return &Telemetry{
+	t := &Telemetry{
 		Reg:     NewRegistry(),
 		Tracer:  NewTracer(DefaultTracerCapacity),
 		Rec:     NewRecorder(DefaultRecorderCapacity, log),
 		Log:     log,
 		enabled: true,
 	}
+	t.SLO = NewEvaluator(t.Reg, t.Rec)
+	rec := t.Rec
+	t.Reg.CounterFunc("xtalkd_obs_events_dropped_total",
+		"Flight-recorder events overwritten because the bounded ring was full.",
+		func() float64 { return float64(rec.Dropped()) })
+	return t
 }
 
 // Disabled builds a bundle whose registry works (counters are as cheap as

@@ -21,11 +21,12 @@ type Event struct {
 // fact, without log shipping. Every recorded event is also mirrored to the
 // structured logger, so the ring and the log stream never disagree.
 type Recorder struct {
-	mu   sync.Mutex
-	ring []Event
-	next int
-	full bool
-	log  *slog.Logger
+	mu      sync.Mutex
+	ring    []Event
+	next    int
+	full    bool
+	dropped int64
+	log     *slog.Logger
 }
 
 // NewRecorder builds a recorder retaining at most capacity events (minimum
@@ -56,6 +57,7 @@ func (r *Recorder) Record(typ string, labels ...Label) {
 		r.ring[r.next] = ev
 		r.next = (r.next + 1) % cap(r.ring)
 		r.full = true
+		r.dropped++
 	}
 	r.mu.Unlock()
 	if r.log != nil {
@@ -65,6 +67,18 @@ func (r *Recorder) Record(typ string, labels ...Label) {
 		}
 		r.log.Info(typ, args...)
 	}
+}
+
+// Dropped returns how many events have been overwritten (lost) because the
+// ring was full when they arrived — the ring wraps silently otherwise, so
+// this is the only evidence that history was discarded.
+func (r *Recorder) Dropped() int64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped
 }
 
 // Events snapshots the ring, oldest first.

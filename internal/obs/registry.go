@@ -223,6 +223,23 @@ func (h *Histogram) Count() int64 {
 // Sum returns the sum of observed values.
 func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
 
+// Bounds returns the histogram's upper bucket bounds (without +Inf).
+func (h *Histogram) Bounds() []float64 { return append([]float64(nil), h.bounds...) }
+
+// CountLE returns the number of observations ≤ bound, counting whole
+// buckets: bound is rounded up to the enclosing bucket bound, so callers
+// with thresholds between bounds (e.g. an SLO of 150 ms against ×4 log
+// buckets) get the cumulative count of the first bucket covering the
+// threshold.
+func (h *Histogram) CountLE(bound float64) int64 {
+	i := sort.SearchFloat64s(h.bounds, bound)
+	var n int64
+	for j := 0; j <= i && j < len(h.counts); j++ {
+		n += h.counts[j].Load()
+	}
+	return n
+}
+
 // ExpBuckets returns n exponentially spaced upper bounds starting at start
 // and multiplying by factor — the log-scale shape latency distributions
 // need.

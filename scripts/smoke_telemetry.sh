@@ -2,9 +2,13 @@
 # smoke_telemetry.sh boots a real xtalkd, submits one small campaign, and
 # asserts the telemetry endpoints answer on the live daemon: /metrics must
 # serve a non-empty Prometheus exposition, /debug/events a non-empty event
-# array, and /debug/trace/{job} the job's spans. Run by CI after the unit
-# tests to catch wiring regressions a package test cannot (route conflicts,
-# handler registration, daemon startup).
+# array, and /debug/trace/{job} the job's spans. It then boots a live
+# 2-worker fleet (coordinator + two heartbeating workers) and asserts the
+# federation surface: /fleet/status sees both workers scraped, /alerts
+# serves the SLO alert document, and the coordinator's /metrics carries
+# worker-labeled xtalkd_fleet_* families. Run by CI after the unit tests to
+# catch wiring regressions a package test cannot (route conflicts, handler
+# registration, daemon startup).
 #
 # Usage: scripts/smoke_telemetry.sh [port]
 set -eu
@@ -16,7 +20,8 @@ cd "$(dirname "$0")/.."
 go build -o /tmp/xtalkd-smoke ./cmd/xtalkd
 /tmp/xtalkd-smoke -addr "127.0.0.1:$port" &
 pid=$!
-trap 'kill "$pid" 2>/dev/null || true' EXIT INT TERM
+pids="$pid"
+trap 'kill $pids 2>/dev/null || true' EXIT INT TERM
 
 # Wait for the daemon to accept connections.
 i=0
@@ -48,3 +53,51 @@ curl -fsS "$base/debug/trace/$job" | grep -q '"name": *"job.run"' ||
 
 echo "telemetry smoke ok: $(echo "$metrics" | grep -c '^# TYPE') families," \
     "job $job traced and recorded" >&2
+
+# The standalone node also serves the SLO alert document.
+curl -fsS "$base/alerts" | grep -q '"summary"' ||
+    { echo "standalone /alerts serves no summary" >&2; exit 1; }
+
+# --- live 2-worker fleet: federation, fleet status, alerts ---
+cport=$((port + 1))
+w1port=$((port + 2))
+w2port=$((port + 3))
+cbase="http://127.0.0.1:$cport"
+
+/tmp/xtalkd-smoke -addr "127.0.0.1:$cport" -role coordinator &
+pids="$pids $!"
+for wport in "$w1port" "$w2port"; do
+    /tmp/xtalkd-smoke -addr "127.0.0.1:$wport" -role worker \
+        -coordinator "$cbase" -advertise "http://127.0.0.1:$wport" \
+        -heartbeat 200ms &
+    pids="$pids $!"
+done
+
+# Wait until the coordinator has scraped both workers (each heartbeat
+# carries the worker's metrics exposition).
+i=0
+until curl -fsS "$cbase/fleet/status" 2>/dev/null | grep -c '"scraped": *true' | grep -qx 2; do
+    i=$((i + 1))
+    [ "$i" -lt 100 ] || {
+        echo "coordinator never scraped both workers:" >&2
+        curl -fsS "$cbase/fleet/status" >&2 || true
+        exit 1
+    }
+    sleep 0.1
+done
+
+status=$(curl -fsS "$cbase/fleet/status")
+echo "$status" | grep -q '"workers_alive": *2' ||
+    { echo "fleet status does not report 2 alive workers:"; echo "$status"; exit 1; } >&2
+
+curl -fsS "$cbase/alerts" | grep -q '"shard_roundtrip"' ||
+    { echo "coordinator /alerts lacks the shard_roundtrip objective" >&2; exit 1; }
+
+fleet_metrics=$(curl -fsS "$cbase/metrics")
+echo "$fleet_metrics" | grep -q '^xtalkd_fleet_workers_busy{worker="http://127.0.0.1:'"$w1port"'"} ' ||
+    { echo "federated metrics missing worker-labeled fleet family:"; echo "$fleet_metrics"; exit 1; } >&2
+echo "$fleet_metrics" | grep -q '^# TYPE xtalkd_fleet_shards_dispatched_total counter$' ||
+    { echo "federated metrics missing coordinator family:"; echo "$fleet_metrics"; exit 1; } >&2
+
+echo "fleet smoke ok: 2 workers federated," \
+    "$(echo "$fleet_metrics" | grep -c '^# TYPE') fleet families" >&2
